@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration harnesses: simple CLI flag
+ * parsing and fixed-width table printing.
+ */
+
+#ifndef CDIR_BENCH_BENCH_UTIL_HH
+#define CDIR_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace cdir::bench {
+
+/** Value of --name=value (or fallback) from argv. */
+inline std::uint64_t
+flagU64(int argc, char **argv, const char *name, std::uint64_t fallback)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+    return fallback;
+}
+
+/** Section banner. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+/** Percentage with sensible precision for log-scale figures. */
+inline std::string
+pct(double fraction)
+{
+    char buf[32];
+    if (fraction == 0.0)
+        std::snprintf(buf, sizeof buf, "0");
+    else if (fraction < 0.0001)
+        std::snprintf(buf, sizeof buf, "%.4f%%", fraction * 100.0);
+    else
+        std::snprintf(buf, sizeof buf, "%.3f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace cdir::bench
+
+#endif // CDIR_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 4 — per-core area and energy scalability of prior directory
+ * organizations, 16 to 1024 cores (§3).
+ *
+ * System per the figure caption: 16-way private L2 caches, two caches
+ * per core [I+D]. Organizations: Duplicate-Tag, Tagless, Sparse 8x
+ * (full vector), In-Cache, Sparse 8x Hierarchical, Sparse 8x Coarse.
+ *
+ * Axes as in the paper: energy relative to a 1MB 16-way L2 tag lookup,
+ * area relative to a 1MB L2 data array; both per core (per slice).
+ *
+ * Paper shape: Duplicate-Tag and Tagless energy grow linearly per core
+ * (quadratic aggregate); full-vector and in-cache area grow linearly
+ * per core; Coarse/Hierarchical are flat but sit high due to the 8x
+ * capacity over-provisioning.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "model/directory_model.hh"
+
+using namespace cdir;
+using namespace cdir::bench;
+
+namespace {
+
+DirSystemParams
+fig4System(std::size_t cores)
+{
+    DirSystemParams p;
+    p.numCores = cores;
+    p.cachesPerCore = 2;      // I+D (figure caption)
+    p.framesPerCache = 16384; // 1MB 16-way private L2
+    p.cacheAssoc = 16;
+    return p;
+}
+
+const std::vector<std::pair<OrgModel, const char *>> kOrgs = {
+    {OrgModel::DuplicateTag, "Duplicate-Tag"},
+    {OrgModel::Tagless, "Tagless"},
+    {OrgModel::SparseFull, "Sparse 8x"},
+    {OrgModel::InCache, "In-Cache"},
+    {OrgModel::SparseHier, "Sparse 8x Hier."},
+    {OrgModel::SparseCoarse, "Sparse 8x Coarse"},
+};
+
+const std::size_t kCores[] = {16, 32, 64, 128, 256, 512, 1024};
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 4 (top): per-core directory area, % of 1MB L2 data array");
+    std::printf("%-18s", "organization");
+    for (std::size_t c : kCores)
+        std::printf("  %8zu", c);
+    std::printf("\n");
+    for (const auto &[org, label] : kOrgs) {
+        std::printf("%-18s", label);
+        for (std::size_t c : kCores) {
+            const auto cost = directoryCost(org, fig4System(c));
+            std::printf("  %7.2f%%", cost.areaRelative * 100.0);
+        }
+        std::printf("\n");
+    }
+
+    banner("Fig. 4 (bottom): per-core directory energy, % of 1MB L2 tag "
+           "lookup");
+    std::printf("%-18s", "organization");
+    for (std::size_t c : kCores)
+        std::printf("  %8zu", c);
+    std::printf("\n");
+    for (const auto &[org, label] : kOrgs) {
+        std::printf("%-18s", label);
+        for (std::size_t c : kCores) {
+            const auto cost = directoryCost(org, fig4System(c));
+            std::printf("  %7.0f%%", cost.energyRelative * 100.0);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

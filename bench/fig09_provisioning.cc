@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 9 — Cuckoo directory sizing sweep (§5.2).
+ *
+ * Evaluates the paper's exact per-slice organizations, from 2x
+ * over-provisioned down to 3/8x under-provisioned, reporting the
+ * suite-wide average insertion attempts (bars) and forced-invalidation
+ * rate (line):
+ *
+ *   Shared-L2:  4x1024 (2x), 3x1024 (1.5x), 4x512 (1x), 3x512 (3/4x),
+ *               4x256 (1/2x), 3x256 (3/8x)
+ *   Private-L2: 4x8192 (2x), 3x8192 (1.5x), 8x2048 (1x), 3x4096 (3/4x),
+ *               8x1024 (1/2x), 3x2048 (3/8x)
+ *
+ * Paper shape: under-provisioning (<1x) explodes attempts and forced
+ * invalidations exponentially; Shared-L2 needs no over-provisioning and
+ * Private-L2 is clean at 1.5x.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim_common.hh"
+
+using namespace cdir;
+using namespace cdir::bench;
+
+namespace {
+
+struct Sizing
+{
+    unsigned ways;
+    std::size_t sets;
+    const char *label;
+};
+
+void
+sweep(CmpConfigKind kind, const std::vector<Sizing> &sizings,
+      std::uint64_t scale)
+{
+    std::printf("\n%s\n", configName(kind));
+    std::printf("%-18s  %12s  %18s\n", "organization", "avg attempts",
+                "forced-inval rate");
+    for (const Sizing &s : sizings) {
+        RunningMean attempts;
+        std::uint64_t inserts = 0, forced = 0;
+        for (PaperWorkload w : allPaperWorkloads()) {
+            const auto res = runPaperWorkload(
+                kind, w, cuckooSliceParams(s.ways, s.sets), scale);
+            attempts.addWeighted(res.avgInsertionAttempts,
+                                 res.directory.insertions);
+            inserts += res.directory.insertions;
+            forced += res.directory.forcedEvictions;
+        }
+        const double rate =
+            inserts == 0 ? 0.0 : double(forced) / double(inserts);
+        std::printf("%u x %-6zu %-6s  %12.2f  %17s\n", s.ways, s.sets,
+                    s.label, attempts.mean(), pct(rate).c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = flagU64(argc, argv, "scale", 1);
+
+    banner("Fig. 9: insertion attempts and failure rates vs provisioning");
+
+    sweep(CmpConfigKind::SharedL2,
+          {{4, 1024, "(2x)"},
+           {3, 1024, "(1.5x)"},
+           {4, 512, "(1x)"},
+           {3, 512, "(3/4x)"},
+           {4, 256, "(1/2x)"},
+           {3, 256, "(3/8x)"}},
+          scale);
+
+    sweep(CmpConfigKind::PrivateL2,
+          {{4, 8192, "(2x)"},
+           {3, 8192, "(1.5x)"},
+           {8, 2048, "(1x)"},
+           {3, 4096, "(3/4x)"},
+           {8, 1024, "(1/2x)"},
+           {3, 2048, "(3/8x)"}},
+          scale);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig. 10 — average insertion attempts per workload at the §5.2
+ * selected Cuckoo sizes (4x512 Shared-L2, 3x8192 Private-L2).
+ *
+ * Paper shape: typically under two attempts (a vacant slot is usually
+ * found at the initial lookup), larger values for the private-footprint
+ * heavy workloads (DSS, em3d, ocean) in the Private-L2 system.
+ */
+
+#include <cstdio>
+
+#include "sim_common.hh"
+
+using namespace cdir;
+using namespace cdir::bench;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t scale = flagU64(argc, argv, "scale", 1);
+
+    banner("Fig. 10: Cuckoo directory average insertion attempts");
+    std::printf("%-8s  %12s  %12s\n", "workload", "Shared L2",
+                "Private L2");
+    for (PaperWorkload w : allPaperWorkloads()) {
+        double attempts[2] = {0, 0};
+        int i = 0;
+        for (CmpConfigKind kind :
+             {CmpConfigKind::SharedL2, CmpConfigKind::PrivateL2}) {
+            attempts[i++] =
+                runPaperWorkload(kind, w, selectedCuckoo(kind), scale)
+                    .avgInsertionAttempts;
+        }
+        std::printf("%-8s  %12.3f  %12.3f\n",
+                    paperWorkloadName(w).c_str(), attempts[0],
+                    attempts[1]);
+    }
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: lookup/insert/remove throughput of
+ * each directory organization at a realistic steady-state occupancy.
+ * Not a paper figure — a software-performance sanity check that the
+ * constant-time claims of the Cuckoo organization hold in this
+ * implementation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "directory/directory.hh"
+
+namespace {
+
+using namespace cdir;
+
+std::unique_ptr<Directory>
+build(DirectoryKind kind)
+{
+    DirectoryParams p;
+    p.kind = kind;
+    p.numCaches = 32;
+    switch (kind) {
+      case DirectoryKind::Cuckoo:
+        p.ways = 4;
+        p.sets = 2048;
+        break;
+      case DirectoryKind::Sparse:
+        p.ways = 8;
+        p.sets = 1024;
+        break;
+      case DirectoryKind::Skewed:
+        p.ways = 4;
+        p.sets = 2048;
+        break;
+      case DirectoryKind::DuplicateTag:
+        p.sets = 128;
+        p.trackedCacheAssoc = 2;
+        break;
+      case DirectoryKind::InCache:
+        p.ways = 16;
+        p.sets = 512;
+        break;
+      case DirectoryKind::Tagless:
+        p.sets = 128;
+        p.taglessBucketBits = 64;
+        break;
+      case DirectoryKind::Elbow:
+        p.ways = 4;
+        p.sets = 2048;
+        break;
+    }
+    return makeDirectory(p);
+}
+
+void
+warm(Directory &dir, std::vector<Tag> &live, std::size_t count)
+{
+    Rng rng(5);
+    while (live.size() < count) {
+        const Tag tag = rng.next() >> 8;
+        if (dir.probe(tag))
+            continue;
+        dir.access(tag, static_cast<CacheId>(live.size() % 32), false);
+        live.push_back(tag);
+    }
+}
+
+void
+BM_Probe(benchmark::State &state)
+{
+    const auto kind = static_cast<DirectoryKind>(state.range(0));
+    state.SetLabel(directoryKindName(kind));
+    auto dir = build(kind);
+    std::vector<Tag> live;
+    warm(*dir, live, 2048);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dir->probe(live[i++ % live.size()]));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_InsertRemoveChurn(benchmark::State &state)
+{
+    const auto kind = static_cast<DirectoryKind>(state.range(0));
+    state.SetLabel(directoryKindName(kind));
+    auto dir = build(kind);
+    std::vector<Tag> live;
+    warm(*dir, live, 2048);
+    Rng rng(7);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        // retire one, insert one: steady state occupancy
+        const std::size_t k = i++ % live.size();
+        dir->removeSharer(live[k], static_cast<CacheId>(k % 32));
+        const Tag fresh = rng.next() >> 8;
+        dir->access(fresh, static_cast<CacheId>(k % 32), false);
+        live[k] = fresh;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+OrgArgs(benchmark::internal::Benchmark *b)
+{
+    for (int kind = 0; kind <= 5; ++kind)
+        b->Arg(kind);
+}
+
+} // namespace
+
+BENCHMARK(BM_Probe)->Apply(OrgArgs);
+BENCHMARK(BM_InsertRemoveChurn)->Apply(OrgArgs);
+
+BENCHMARK_MAIN();

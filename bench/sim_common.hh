@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared setup for the simulation-driven figure harnesses (Figs. 8-12):
+ * the Table 1 system configurations, the §5.2 directory sizings, and a
+ * cached experiment runner.
+ */
+
+#ifndef CDIR_BENCH_SIM_COMMON_HH
+#define CDIR_BENCH_SIM_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/experiment.hh"
+
+namespace cdir::bench {
+
+/** Experiment lengths tuned per configuration (caches warm slower in
+ *  the Private-L2 system, whose aggregate footprint is 8x larger). */
+inline ExperimentOptions
+optionsFor(CmpConfigKind kind, std::uint64_t scale)
+{
+    ExperimentOptions opts;
+    if (kind == CmpConfigKind::SharedL2) {
+        opts.warmupAccesses = 1'000'000 * scale;
+        opts.measureAccesses = 1'000'000 * scale;
+    } else {
+        opts.warmupAccesses = 3'000'000 * scale;
+        opts.measureAccesses = 2'000'000 * scale;
+    }
+    opts.occupancySampleEvery = 10'000;
+    return opts;
+}
+
+/** Run one workload preset on one configuration+directory. */
+inline ExperimentResult
+runPaperWorkload(CmpConfigKind kind, PaperWorkload workload,
+                 const DirectoryParams &dir, std::uint64_t scale)
+{
+    CmpConfig cfg = CmpConfig::paperConfig(kind);
+    cfg.directory = dir;
+    const WorkloadParams params =
+        paperWorkloadParams(workload, kind == CmpConfigKind::PrivateL2);
+    return runExperiment(cfg, params, optionsFor(kind, scale));
+}
+
+/** The §5.2 selected Cuckoo sizings. */
+inline DirectoryParams
+selectedCuckoo(CmpConfigKind kind)
+{
+    // Shared-L2: 4x512 per slice (1x); Private-L2: 3x8192 (1.5x).
+    return kind == CmpConfigKind::SharedL2 ? cuckooSliceParams(4, 512)
+                                           : cuckooSliceParams(3, 8192);
+}
+
+inline const char *
+configName(CmpConfigKind kind)
+{
+    return kind == CmpConfigKind::SharedL2 ? "Shared L2" : "Private L2";
+}
+
+} // namespace cdir::bench
+
+#endif // CDIR_BENCH_SIM_COMMON_HH

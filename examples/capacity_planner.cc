@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Example: directory capacity planning with the Cuckoo sizing rule and
+ * the analytical cost model.
+ *
+ * Given a CMP geometry (cores, caches per core, cache capacity), applies
+ * the paper's provisioning guidance — 50% steady-state occupancy is
+ * conflict-free for 3-ary and wider tables (§5.1), achieved by 1x-2x
+ * capacity depending on sharing (§5.2) — and reports the resulting
+ * per-core energy/area next to a traditionally over-provisioned Sparse
+ * 8x design.
+ *
+ *   $ ./capacity_planner [cores] [caches_per_core] [cache_kib]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bit_util.hh"
+#include "common/types.hh"
+#include "model/directory_model.hh"
+
+using namespace cdir;
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t cores =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+    const unsigned caches_per_core =
+        argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr,
+                                                      10))
+                 : 2;
+    const std::size_t cache_kib =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 64;
+
+    const std::size_t frames = cache_kib * 1024 / blockBytes;
+    const std::size_t frames_per_slice =
+        frames * caches_per_core; // one slice per core
+
+    std::printf("CMP: %zu cores x %u caches (%zu KiB, %zu blocks each)\n",
+                cores, caches_per_core, cache_kib, frames);
+    std::printf("worst-case tracked blocks per slice: %zu\n\n",
+                frames_per_slice);
+
+    // Sizing rule: pick the cuckoo arity by target occupancy. 1x is safe
+    // when instruction/data sharing compresses distinct tags (Fig. 8);
+    // private-heavy hierarchies want 1.5x (§5.2). We plan for the
+    // conservative 1.5x unless the hierarchy shares a cache per core.
+    const bool shared_hierarchy = caches_per_core >= 2;
+    const double provisioning = shared_hierarchy ? 1.0 : 1.5;
+    const unsigned ways = shared_hierarchy ? 4 : 3;
+    const auto capacity = static_cast<std::size_t>(
+        provisioning * double(frames_per_slice));
+    const std::size_t sets_per_way =
+        std::size_t{1} << ceilLog2(capacity / ways);
+
+    std::printf("recommended Cuckoo slice: %u ways x %zu sets "
+                "(%.1fx provisioning, steady-state occupancy <= ~50%%)\n",
+                ways, sets_per_way, provisioning);
+
+    DirSystemParams params;
+    params.numCores = cores;
+    params.cachesPerCore = caches_per_core;
+    params.framesPerCache = frames;
+    params.cacheAssoc = 2;
+    params.cuckooProvisioning = provisioning;
+    params.cuckooWays = ways;
+
+    const char *labels[3] = {"Cuckoo Coarse", "Sparse 8x Coarse",
+                             "Duplicate-Tag"};
+    const OrgModel orgs[3] = {OrgModel::CuckooCoarse,
+                              OrgModel::SparseCoarse,
+                              OrgModel::DuplicateTag};
+    std::printf("\n%-18s %20s %22s\n", "organization",
+                "energy/op (vs L2 tag)", "area/core (vs 1MB L2)");
+    for (int i = 0; i < 3; ++i) {
+        const auto cost = directoryCost(orgs[i], params);
+        std::printf("%-18s %19.1f%% %21.2f%%\n", labels[i],
+                    100.0 * cost.energyRelative,
+                    100.0 * cost.areaRelative);
+    }
+    std::printf("\nCuckoo keeps both columns nearly flat as the core "
+                "count grows (Fig. 13).\n");
+    return 0;
+}

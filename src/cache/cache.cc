@@ -1,0 +1,128 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+#include "common/bit_util.hh"
+
+namespace cdir {
+
+SetAssocCache::SetAssocCache(const CacheConfig &config) : cfg(config)
+{
+    assert(isPowerOfTwo(cfg.numSets));
+    assert(cfg.assoc >= 1);
+    indexMask = cfg.numSets - 1;
+    frames.resize(cfg.numSets * cfg.assoc);
+}
+
+std::size_t
+SetAssocCache::setIndex(BlockAddr addr) const
+{
+    return static_cast<std::size_t>(addr) & indexMask;
+}
+
+SetAssocCache::Frame *
+SetAssocCache::find(BlockAddr addr)
+{
+    const std::size_t base = setIndex(addr) * cfg.assoc;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Frame &f = frames[base + w];
+        if (f.valid && f.addr == addr)
+            return &f;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Frame *
+SetAssocCache::find(BlockAddr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->find(addr);
+}
+
+CacheAccessResult
+SetAssocCache::access(BlockAddr addr, bool is_write)
+{
+    CacheAccessResult result;
+    ++useClock;
+
+    if (Frame *f = find(addr)) {
+        result.hit = true;
+        if (is_write && !f->dirty) {
+            result.writeHitClean = true;
+            f->dirty = true;
+        }
+        f->lastUse = useClock;
+        return result;
+    }
+
+    // Miss: pick an invalid frame or the LRU victim.
+    const std::size_t base = setIndex(addr) * cfg.assoc;
+    Frame *victim = &frames[base];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Frame &f = frames[base + w];
+        if (!f.valid) {
+            victim = &f;
+            break;
+        }
+        if (f.lastUse < victim->lastUse)
+            victim = &f;
+    }
+
+    if (victim->valid) {
+        result.victim = victim->addr;
+        result.victimDirty = victim->dirty;
+    } else {
+        ++resident;
+    }
+
+    victim->addr = addr;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lastUse = useClock;
+    return result;
+}
+
+bool
+SetAssocCache::contains(BlockAddr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+SetAssocCache::isDirty(BlockAddr addr) const
+{
+    const Frame *f = find(addr);
+    return f != nullptr && f->dirty;
+}
+
+bool
+SetAssocCache::invalidate(BlockAddr addr)
+{
+    if (Frame *f = find(addr)) {
+        f->valid = false;
+        f->dirty = false;
+        assert(resident > 0);
+        --resident;
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::cleanse(BlockAddr addr)
+{
+    if (Frame *f = find(addr))
+        f->dirty = false;
+}
+
+std::vector<BlockAddr>
+SetAssocCache::residentAddresses() const
+{
+    std::vector<BlockAddr> out;
+    out.reserve(resident);
+    for (const Frame &f : frames)
+        if (f.valid)
+            out.push_back(f.addr);
+    return out;
+}
+
+} // namespace cdir

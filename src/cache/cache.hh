@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Set-associative write-back cache model.
+ *
+ * Functional (untimed) model used for the private L1/L2 caches and the
+ * shared L2 of the CMP simulator. The directory experiments depend only
+ * on which block addresses are resident in each private cache over time,
+ * so the model tracks tags, coherence-relevant dirty bits, and LRU state,
+ * and reports evictions so the directory can retire sharers (§5.2:
+ * "dirty and clean evictions from the private caches are tracked by the
+ * directory").
+ */
+
+#ifndef CDIR_CACHE_CACHE_HH
+#define CDIR_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdir {
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;                       //!< tag was resident
+    bool writeHitClean = false;             //!< write upgraded a clean block
+    std::optional<BlockAddr> victim;        //!< evicted block, if any
+    bool victimDirty = false;               //!< eviction was a write-back
+};
+
+/** Configuration of one cache. */
+struct CacheConfig
+{
+    std::size_t numSets = 64;     //!< must be a power of two
+    unsigned assoc = 2;           //!< ways per set
+    std::size_t capacityBlocks() const { return numSets * assoc; }
+};
+
+/**
+ * Set-associative write-back cache with true-LRU replacement.
+ *
+ * Addresses are *block* addresses; the model is untimed and returns
+ * hit/miss/eviction outcomes synchronously.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config);
+
+    /**
+     * Perform a read or write access, allocating on miss.
+     *
+     * @param addr     block address.
+     * @param is_write true for stores.
+     * @return hit/victim outcome for the coherence layer.
+     */
+    CacheAccessResult access(BlockAddr addr, bool is_write);
+
+    /** True iff @p addr is resident. */
+    bool contains(BlockAddr addr) const;
+
+    /** True iff @p addr is resident and dirty. */
+    bool isDirty(BlockAddr addr) const;
+
+    /**
+     * Remove @p addr if resident (directory-forced or sharing-forced
+     * invalidation).
+     * @return true iff the block was resident.
+     */
+    bool invalidate(BlockAddr addr);
+
+    /** Mark a resident block clean (downgrade on remote read). */
+    void cleanse(BlockAddr addr);
+
+    /** Number of resident blocks. */
+    std::size_t residentBlocks() const { return resident; }
+
+    /** Total frames. */
+    std::size_t capacityBlocks() const { return cfg.capacityBlocks(); }
+
+    /** Configuration this cache was built with. */
+    const CacheConfig &config() const { return cfg; }
+
+    /** Enumerate resident block addresses (testing/diagnostics). */
+    std::vector<BlockAddr> residentAddresses() const;
+
+  private:
+    struct Frame
+    {
+        BlockAddr addr = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setIndex(BlockAddr addr) const;
+    Frame *find(BlockAddr addr);
+    const Frame *find(BlockAddr addr) const;
+
+    CacheConfig cfg;
+    std::size_t indexMask;
+    std::vector<Frame> frames; //!< numSets x assoc, row-major
+    std::uint64_t useClock = 0;
+    std::size_t resident = 0;
+};
+
+} // namespace cdir
+
+#endif // CDIR_CACHE_CACHE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the hash functions, cache
+ * indexing, and the analytical energy/area model.
+ */
+
+#ifndef CDIR_COMMON_BIT_UTIL_HH
+#define CDIR_COMMON_BIT_UTIL_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace cdir {
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2; @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceiling of log2; @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOfTwo(v) ? 0u : 1u);
+}
+
+/** Number of bits needed to name @p n distinct values (at least 1). */
+constexpr unsigned
+bitsToName(std::uint64_t n)
+{
+    return n <= 1 ? 1u : ceilLog2(n);
+}
+
+/** Mask with the low @p bits bits set. */
+constexpr std::uint64_t
+lowMask(unsigned bits)
+{
+    assert(bits <= 64);
+    return bits == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Extract bits [lo, lo+count) of @p v. */
+constexpr std::uint64_t
+extractBits(std::uint64_t v, unsigned lo, unsigned count)
+{
+    return (v >> lo) & lowMask(count);
+}
+
+/** Rotate the low @p width bits of @p v left by @p amount. */
+constexpr std::uint64_t
+rotateLeft(std::uint64_t v, unsigned amount, unsigned width)
+{
+    assert(width > 0 && width <= 64);
+    v &= lowMask(width);
+    amount %= width;
+    if (amount == 0)
+        return v;
+    return ((v << amount) | (v >> (width - amount))) & lowMask(width);
+}
+
+} // namespace cdir
+
+#endif // CDIR_COMMON_BIT_UTIL_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Run-time-sized bitset used for sharer vectors and Bloom-filter rows.
+ *
+ * std::bitset is compile-time sized and std::vector<bool> lacks word-level
+ * operations; directory sharer vectors need a size chosen at configuration
+ * time (the number of private caches) plus fast population count and
+ * iteration over set bits.
+ */
+
+#ifndef CDIR_COMMON_BITSET_HH
+#define CDIR_COMMON_BITSET_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cdir {
+
+/** Dynamically sized bitset with word-parallel operations. */
+class DynamicBitset
+{
+  public:
+    DynamicBitset() = default;
+
+    /** Construct with @p bits bits, all clear. */
+    explicit DynamicBitset(std::size_t bits)
+        : numBits(bits), words((bits + 63) / 64, 0)
+    {}
+
+    /** Number of bits in the set. */
+    std::size_t size() const { return numBits; }
+
+    /** Set bit @p pos. */
+    void
+    set(std::size_t pos)
+    {
+        assert(pos < numBits);
+        words[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+    }
+
+    /** Clear bit @p pos. */
+    void
+    reset(std::size_t pos)
+    {
+        assert(pos < numBits);
+        words[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
+    }
+
+    /** Test bit @p pos. */
+    bool
+    test(std::size_t pos) const
+    {
+        assert(pos < numBits);
+        return (words[pos >> 6] >> (pos & 63)) & 1;
+    }
+
+    /** Clear every bit. */
+    void
+    clear()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t total = 0;
+        for (auto w : words)
+            total += static_cast<std::size_t>(std::popcount(w));
+        return total;
+    }
+
+    /** True iff no bit is set. */
+    bool
+    none() const
+    {
+        for (auto w : words)
+            if (w != 0)
+                return false;
+        return true;
+    }
+
+    /** True iff at least one bit is set. */
+    bool any() const { return !none(); }
+
+    /**
+     * Index of the first set bit at or after @p from, or size() if none.
+     * Enables cheap iteration: for (i = findFirst(); i < size();
+     * i = findNext(i)).
+     */
+    std::size_t
+    findFirstFrom(std::size_t from) const
+    {
+        if (from >= numBits)
+            return numBits;
+        std::size_t wi = from >> 6;
+        std::uint64_t w = words[wi] & ~lowBits(from & 63);
+        while (true) {
+            if (w != 0) {
+                std::size_t pos =
+                    (wi << 6) +
+                    static_cast<std::size_t>(std::countr_zero(w));
+                return pos < numBits ? pos : numBits;
+            }
+            if (++wi >= words.size())
+                return numBits;
+            w = words[wi];
+        }
+    }
+
+    /** Index of the first set bit, or size() if none. */
+    std::size_t findFirst() const { return findFirstFrom(0); }
+
+    /** Index of the next set bit strictly after @p pos, or size(). */
+    std::size_t findNext(std::size_t pos) const
+    {
+        return findFirstFrom(pos + 1);
+    }
+
+    /** In-place union. Sizes must match. */
+    DynamicBitset &
+    operator|=(const DynamicBitset &other)
+    {
+        assert(numBits == other.numBits);
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] |= other.words[i];
+        return *this;
+    }
+
+    /** In-place intersection. Sizes must match. */
+    DynamicBitset &
+    operator&=(const DynamicBitset &other)
+    {
+        assert(numBits == other.numBits);
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] &= other.words[i];
+        return *this;
+    }
+
+    /** Equality (same size and same bits). */
+    bool
+    operator==(const DynamicBitset &other) const
+    {
+        return numBits == other.numBits && words == other.words;
+    }
+
+  private:
+    static std::uint64_t
+    lowBits(unsigned n)
+    {
+        return n == 0 ? 0 : (n >= 64 ? ~std::uint64_t{0}
+                                     : ((std::uint64_t{1} << n) - 1));
+    }
+
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace cdir
+
+#endif // CDIR_COMMON_BITSET_HH

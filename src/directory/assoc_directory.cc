@@ -1,0 +1,157 @@
+#include "directory/assoc_directory.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace cdir {
+
+AssocDirectory::AssocDirectory(std::size_t num_caches, unsigned num_ways,
+                               std::size_t num_sets, SharerFormat fmt,
+                               HashKind hash, std::uint64_t hash_seed)
+    : Directory(num_caches),
+      format(fmt),
+      hashKind(hash),
+      family(makeHashFamily(hash, num_ways, num_sets, hash_seed)),
+      ways(num_ways),
+      sets(num_sets),
+      slots(std::size_t{num_ways} * num_sets)
+{}
+
+AssocDirectory::Slot *
+AssocDirectory::findSlot(Tag tag)
+{
+    for (unsigned w = 0; w < ways; ++w) {
+        Slot &s = slot(w, family->index(w, tag));
+        if (s.valid && s.tag == tag)
+            return &s;
+    }
+    return nullptr;
+}
+
+const AssocDirectory::Slot *
+AssocDirectory::findSlot(Tag tag) const
+{
+    return const_cast<AssocDirectory *>(this)->findSlot(tag);
+}
+
+DirAccessResult
+AssocDirectory::access(Tag tag, CacheId cache, bool is_write)
+{
+    DirAccessResult result;
+    ++statistics.lookups;
+    ++useClock;
+
+    if (Slot *s = findSlot(tag)) {
+        result.hit = true;
+        ++statistics.hits;
+        s->lastUse = useClock;
+        if (is_write) {
+            DynamicBitset targets;
+            s->rep->invalidationTargets(targets);
+            if (cache < targets.size() && targets.test(cache))
+                targets.reset(cache);
+            if (targets.any()) {
+                result.hadSharerInvalidations = true;
+                result.sharerInvalidations = std::move(targets);
+                ++statistics.writeUpgrades;
+            }
+            s->rep->clear();
+            s->rep->add(cache);
+        } else {
+            s->rep->add(cache);
+            ++statistics.sharerAdds;
+        }
+        return result;
+    }
+
+    // Miss: pick a vacant candidate or evict the LRU candidate. This is
+    // the set conflict the Cuckoo organization eliminates: the victim's
+    // cached copies must be invalidated to keep the directory precise.
+    Slot *victim = nullptr;
+    for (unsigned w = 0; w < ways; ++w) {
+        Slot &s = slot(w, family->index(w, tag));
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (victim == nullptr || s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    assert(victim != nullptr);
+
+    if (victim->valid) {
+        EvictedEntry evicted;
+        evicted.tag = victim->tag;
+        victim->rep->invalidationTargets(evicted.targets);
+        ++statistics.forcedEvictions;
+        statistics.forcedBlockInvalidations += evicted.targets.count();
+        result.forcedEvictions.push_back(std::move(evicted));
+    } else {
+        ++occupied;
+    }
+
+    victim->tag = tag;
+    victim->rep = makeSharerRep(format, caches);
+    victim->rep->add(cache);
+    victim->valid = true;
+    victim->lastUse = useClock;
+
+    result.inserted = true;
+    result.attempts = 1;
+    ++statistics.insertions;
+    statistics.insertionAttempts.add(1);
+    statistics.attemptHistogram.add(1);
+    return result;
+}
+
+void
+AssocDirectory::removeSharer(Tag tag, CacheId cache)
+{
+    if (Slot *s = findSlot(tag)) {
+        ++statistics.sharerRemovals;
+        if (s->rep->remove(cache)) {
+            s->valid = false;
+            s->rep.reset();
+            --occupied;
+            ++statistics.entryFrees;
+        }
+    }
+}
+
+bool
+AssocDirectory::probe(Tag tag, DynamicBitset *sharers) const
+{
+    const Slot *s = findSlot(tag);
+    if (!s)
+        return false;
+    if (sharers)
+        s->rep->invalidationTargets(*sharers);
+    return true;
+}
+
+std::string
+AssocDirectory::name() const
+{
+    std::ostringstream os;
+    os << (hashKind == HashKind::Modulo ? "Sparse-" : "Skewed-") << ways
+       << "x" << sets;
+    return os.str();
+}
+
+std::unique_ptr<AssocDirectory>
+makeSparseDirectory(std::size_t num_caches, unsigned ways, std::size_t sets,
+                    SharerFormat format)
+{
+    return std::make_unique<AssocDirectory>(num_caches, ways, sets, format,
+                                            HashKind::Modulo);
+}
+
+std::unique_ptr<AssocDirectory>
+makeSkewedDirectory(std::size_t num_caches, unsigned ways, std::size_t sets,
+                    SharerFormat format, std::uint64_t hash_seed)
+{
+    return std::make_unique<AssocDirectory>(num_caches, ways, sets, format,
+                                            HashKind::Skewing, hash_seed);
+}
+
+} // namespace cdir

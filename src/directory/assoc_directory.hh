@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Associative directory organizations that evict on conflict: the
+ * traditional Sparse directory [17] and the skewed-associative
+ * directory (Fig. 12's "Skewed 2x", adapted from Seznec's cache [33]).
+ *
+ * Both probe one candidate slot per way and, when every candidate is
+ * occupied, evict the least-recently-used candidate — forcing the
+ * invalidation of the cached blocks that entry tracked. They differ only
+ * in indexing: Sparse uses the same low-order index bits for every way
+ * (a conventional set), Skewed uses a different skewing function per
+ * way, which breaks *direct* conflicts but not transitive ones (§4).
+ */
+
+#ifndef CDIR_DIRECTORY_ASSOC_DIRECTORY_HH
+#define CDIR_DIRECTORY_ASSOC_DIRECTORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "directory/directory.hh"
+
+namespace cdir {
+
+/** Set-associative / skewed-associative directory (see file comment). */
+class AssocDirectory : public Directory
+{
+  public:
+    /**
+     * @param num_caches private caches tracked.
+     * @param ways       associativity.
+     * @param sets       sets per way.
+     * @param format     sharer-set representation.
+     * @param hash       Modulo => Sparse; Skewing/Strong => Skewed.
+     * @param hash_seed  seed for the Strong family.
+     */
+    AssocDirectory(std::size_t num_caches, unsigned ways, std::size_t sets,
+                   SharerFormat format, HashKind hash,
+                   std::uint64_t hash_seed = 1);
+
+    DirAccessResult access(Tag tag, CacheId cache, bool is_write) override;
+    void removeSharer(Tag tag, CacheId cache) override;
+    bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
+    std::size_t validEntries() const override { return occupied; }
+    std::size_t capacity() const override { return slots.size(); }
+    std::string name() const override;
+
+  private:
+    struct Slot
+    {
+        Tag tag = 0;
+        std::unique_ptr<SharerRep> rep;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Slot &slot(unsigned way, std::size_t index)
+    {
+        return slots[std::size_t{way} * sets + index];
+    }
+    const Slot &slot(unsigned way, std::size_t index) const
+    {
+        return slots[std::size_t{way} * sets + index];
+    }
+
+    Slot *findSlot(Tag tag);
+    const Slot *findSlot(Tag tag) const;
+
+    SharerFormat format;
+    HashKind hashKind;
+    std::unique_ptr<HashFamily> family;
+    unsigned ways;
+    std::size_t sets;
+    std::vector<Slot> slots;
+    std::size_t occupied = 0;
+    std::uint64_t useClock = 0;
+};
+
+/** Convenience factory for the traditional Sparse organization. */
+std::unique_ptr<AssocDirectory>
+makeSparseDirectory(std::size_t num_caches, unsigned ways, std::size_t sets,
+                    SharerFormat format = SharerFormat::FullVector);
+
+/** Convenience factory for the skewed-associative organization. */
+std::unique_ptr<AssocDirectory>
+makeSkewedDirectory(std::size_t num_caches, unsigned ways, std::size_t sets,
+                    SharerFormat format = SharerFormat::FullVector,
+                    std::uint64_t hash_seed = 1);
+
+} // namespace cdir
+
+#endif // CDIR_DIRECTORY_ASSOC_DIRECTORY_HH

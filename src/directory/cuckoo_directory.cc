@@ -1,0 +1,198 @@
+#include "directory/cuckoo_directory.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace cdir {
+
+namespace {
+
+/**
+ * Shared hit-path update: writes collect an invalidation vector for the
+ * other sharers and leave the writer as sole owner; reads add a sharer.
+ */
+void
+updateOnHit(SharerRep &rep, CacheId cache, bool is_write,
+            DirAccessResult &result, DirectoryStats &stats)
+{
+    if (is_write) {
+        DynamicBitset targets;
+        rep.invalidationTargets(targets);
+        if (cache < targets.size() && targets.test(cache))
+            targets.reset(cache);
+        if (targets.any()) {
+            result.hadSharerInvalidations = true;
+            result.sharerInvalidations = std::move(targets);
+            ++stats.writeUpgrades;
+        }
+        rep.clear();
+        rep.add(cache);
+    } else {
+        rep.add(cache);
+        ++stats.sharerAdds;
+    }
+}
+
+} // namespace
+
+CuckooDirectory::CuckooDirectory(std::size_t num_caches, unsigned ways,
+                                 std::size_t sets_per_way,
+                                 SharerFormat fmt, HashKind hash,
+                                 unsigned max_attempts,
+                                 std::uint64_t hash_seed,
+                                 unsigned bucket_slots,
+                                 unsigned stash_entries)
+    : Directory(num_caches),
+      format(fmt),
+      hashKind(hash),
+      family(makeHashFamily(hash, ways, sets_per_way, hash_seed)),
+      table(*family, max_attempts, bucket_slots),
+      stashCapacity(stash_entries)
+{
+    stash.reserve(stash_entries);
+}
+
+CuckooDirectory::StashEntry *
+CuckooDirectory::findStash(Tag tag)
+{
+    for (StashEntry &e : stash)
+        if (e.tag == tag)
+            return &e;
+    return nullptr;
+}
+
+void
+CuckooDirectory::drainStash()
+{
+    if (stash.empty())
+        return;
+    StashEntry entry = std::move(stash.back());
+    stash.pop_back();
+    auto ins = table.insert(entry.tag, std::move(entry.rep));
+    if (ins.discarded) {
+        // No room yet: park the (possibly different) displaced entry.
+        assert(ins.discardedPayload.has_value());
+        stash.push_back(
+            {ins.discardedTag, std::move(*ins.discardedPayload)});
+    }
+}
+
+DirAccessResult
+CuckooDirectory::access(Tag tag, CacheId cache, bool is_write)
+{
+    DirAccessResult result;
+    ++statistics.lookups;
+
+    if (Rep *rep = table.find(tag)) {
+        result.hit = true;
+        ++statistics.hits;
+        updateOnHit(**rep, cache, is_write, result, statistics);
+        return result;
+    }
+    if (StashEntry *entry = findStash(tag)) {
+        result.hit = true;
+        ++statistics.hits;
+        updateOnHit(*entry->rep, cache, is_write, result, statistics);
+        return result;
+    }
+
+    // Miss: allocate an entry tracking the requester.
+    Rep rep = makeSharerRep(format, caches);
+    rep->add(cache);
+    auto ins = table.insert(tag, std::move(rep));
+
+    result.inserted = true;
+    result.attempts = ins.attempts;
+    ++statistics.insertions;
+    statistics.insertionAttempts.add(ins.attempts);
+    statistics.attemptHistogram.add(ins.attempts);
+
+    if (ins.discarded) {
+        assert(ins.discardedPayload.has_value());
+        if (stash.size() < stashCapacity) {
+            // Kirsch-style stash extension: park the overflow entry
+            // instead of invalidating its blocks.
+            stash.push_back(
+                {ins.discardedTag, std::move(*ins.discardedPayload)});
+            ++stashAbsorbs;
+        } else {
+            result.insertDiscarded = true;
+            ++statistics.insertFailures;
+            ++statistics.forcedEvictions;
+            EvictedEntry evicted;
+            evicted.tag = ins.discardedTag;
+            (*ins.discardedPayload)->invalidationTargets(evicted.targets);
+            statistics.forcedBlockInvalidations += evicted.targets.count();
+            result.forcedEvictions.push_back(std::move(evicted));
+        }
+    }
+    return result;
+}
+
+void
+CuckooDirectory::removeSharer(Tag tag, CacheId cache)
+{
+    if (Rep *rep = table.find(tag)) {
+        ++statistics.sharerRemovals;
+        if ((*rep)->remove(cache)) {
+            table.erase(tag);
+            ++statistics.entryFrees;
+            // A freed slot is the opportunity to re-home a parked
+            // overflow entry.
+            drainStash();
+        }
+        return;
+    }
+    if (StashEntry *entry = findStash(tag)) {
+        ++statistics.sharerRemovals;
+        if (entry->rep->remove(cache)) {
+            if (entry != &stash.back())
+                *entry = std::move(stash.back());
+            stash.pop_back();
+            ++statistics.entryFrees;
+        }
+    }
+}
+
+bool
+CuckooDirectory::probe(Tag tag, DynamicBitset *sharers) const
+{
+    if (const Rep *rep = table.find(tag)) {
+        if (sharers)
+            (*rep)->invalidationTargets(*sharers);
+        return true;
+    }
+    auto *self = const_cast<CuckooDirectory *>(this);
+    if (StashEntry *entry = self->findStash(tag)) {
+        if (sharers)
+            entry->rep->invalidationTargets(*sharers);
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+CuckooDirectory::validEntries() const
+{
+    return table.size() + stash.size();
+}
+
+std::size_t
+CuckooDirectory::capacity() const
+{
+    return table.capacity() + stashCapacity;
+}
+
+std::string
+CuckooDirectory::name() const
+{
+    std::ostringstream os;
+    os << "Cuckoo-" << table.numWays() << "x" << table.setsPerWay();
+    if (table.slotsPerBucket() > 1)
+        os << "b" << table.slotsPerBucket();
+    if (stashCapacity > 0)
+        os << "+stash" << stashCapacity;
+    return os.str();
+}
+
+} // namespace cdir

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Generic d-ary Cuckoo hash table — the data structure at the heart of
+ * the Cuckoo directory (§4).
+ *
+ * The table consists of `ways` direct-mapped arrays of `setsPerWay`
+ * slots; way w is indexed through hash function w of a HashFamily.
+ * Lookup probes all ways in parallel (constant time, like a
+ * skewed-associative cache). Insertion follows §4.2 faithfully:
+ *
+ *  - A lookup always precedes insertion; if it reveals a vacant
+ *    candidate slot the insertion succeeds with **1 attempt**.
+ *  - Otherwise the new element displaces the occupant of its slot in the
+ *    current start way; the displaced element is then re-inserted (its
+ *    own candidates are checked for a vacancy first, then it displaces
+ *    in the next way), and so on. Every slot write counts as one
+ *    attempt.
+ *  - A bound (default 32, the paper's choice) terminates pathological
+ *    loops: the most recently displaced element is discarded and handed
+ *    back to the caller, which must invalidate the private-cache blocks
+ *    it tracked.
+ *  - To keep the ways uniformly utilized, each insertion starts at the
+ *    way at which the previous insertion stopped.
+ *
+ * The payload type only needs to be movable.
+ */
+
+#ifndef CDIR_DIRECTORY_CUCKOO_TABLE_HH
+#define CDIR_DIRECTORY_CUCKOO_TABLE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "hash/hash_family.hh"
+
+namespace cdir {
+
+/** d-ary Cuckoo hash table (see file comment). */
+template <typename Payload>
+class CuckooTable
+{
+  public:
+    /** Result of an insert() call. */
+    struct InsertResult
+    {
+        /** Slot writes performed (1 = immediate success). */
+        unsigned attempts = 0;
+        /** Set when the attempt bound was hit and an element dropped. */
+        bool discarded = false;
+        Tag discardedTag = 0;
+        std::optional<Payload> discardedPayload;
+    };
+
+    /**
+     * @param family       per-way hash family; must outlive the table.
+     * @param max_attempts insertion bound (paper: 32).
+     * @param bucket_slots elements per (way, set) bucket. 1 is the
+     *        paper's design; >1 implements Panigrahy's bucketized
+     *        variant [30], which §6 notes "may offer additional
+     *        improvement ... at high directory occupancy".
+     */
+    CuckooTable(const HashFamily &family, unsigned max_attempts = 32,
+                unsigned bucket_slots = 1)
+        : hashes(family),
+          ways(family.numWays()),
+          sets(family.setsPerWay()),
+          maxAttempts(max_attempts),
+          bucketSlots(bucket_slots),
+          slots(std::size_t{ways} * sets * bucket_slots)
+    {
+        assert(ways >= 2 && "cuckoo displacement needs >= 2 ways");
+        assert(max_attempts >= 1);
+        assert(bucket_slots >= 1);
+    }
+
+    /** Find the payload for @p tag, or nullptr. */
+    Payload *
+    find(Tag tag)
+    {
+        for (unsigned w = 0; w < ways; ++w) {
+            Slot *bucket = bucketAt(w, hashes.index(w, tag));
+            for (unsigned b = 0; b < bucketSlots; ++b) {
+                if (bucket[b].valid && bucket[b].tag == tag)
+                    return &bucket[b].payload;
+            }
+        }
+        return nullptr;
+    }
+
+    /** @copydoc find */
+    const Payload *
+    find(Tag tag) const
+    {
+        return const_cast<CuckooTable *>(this)->find(tag);
+    }
+
+    /**
+     * Insert @p tag with @p payload. The tag must not already be
+     * present (callers look up first, as the hardware does).
+     */
+    InsertResult
+    insert(Tag tag, Payload &&payload)
+    {
+        assert(find(tag) == nullptr && "duplicate insert");
+        InsertResult result;
+
+        Tag cur_tag = tag;
+        Payload cur_payload = std::move(payload);
+        unsigned way = nextWay;
+
+        while (true) {
+            ++result.attempts;
+
+            // The lookup preceding each (re-)insertion reveals vacant
+            // candidate slots; placing into one ends the procedure. The
+            // scan starts at the round-robin way so that, at low
+            // occupancy, placements rotate across the ways and keep
+            // them uniformly utilized (§4.2).
+            unsigned placed_way = 0;
+            if (Slot *vacant = findVacant(cur_tag, way, placed_way)) {
+                vacant->tag = cur_tag;
+                vacant->payload = std::move(cur_payload);
+                vacant->valid = true;
+                ++occupied;
+                nextWay = (placed_way + 1) % ways;
+                return result;
+            }
+
+            if (result.attempts >= maxAttempts) {
+                // Bound hit: discard the most recently displaced element
+                // (§4.2) and report it so the caller can invalidate the
+                // blocks it tracked.
+                result.discarded = true;
+                result.discardedTag = cur_tag;
+                result.discardedPayload = std::move(cur_payload);
+                nextWay = way;
+                return result;
+            }
+
+            // Displace an occupant of the current way's bucket and
+            // continue with it in the next way. The rotor spreads
+            // victim choice across bucket slots.
+            Slot *bucket = bucketAt(way, hashes.index(way, cur_tag));
+            Slot &victim = bucket[victimRotor % bucketSlots];
+            ++victimRotor;
+            std::swap(cur_tag, victim.tag);
+            std::swap(cur_payload, victim.payload);
+            assert(victim.valid);
+            way = (way + 1) % ways;
+        }
+    }
+
+    /**
+     * Remove @p tag.
+     * @return the payload if the tag was present.
+     */
+    std::optional<Payload>
+    erase(Tag tag)
+    {
+        for (unsigned w = 0; w < ways; ++w) {
+            Slot *bucket = bucketAt(w, hashes.index(w, tag));
+            for (unsigned b = 0; b < bucketSlots; ++b) {
+                if (bucket[b].valid && bucket[b].tag == tag) {
+                    bucket[b].valid = false;
+                    --occupied;
+                    return std::move(bucket[b].payload);
+                }
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Valid elements. */
+    std::size_t size() const { return occupied; }
+
+    /** Total slots. */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Fraction of slots in use. */
+    double
+    occupancy() const
+    {
+        return double(occupied) / double(capacity());
+    }
+
+    /** Number of ways (arity d). */
+    unsigned numWays() const { return ways; }
+
+    /** Sets per way. */
+    std::size_t setsPerWay() const { return sets; }
+
+    /** Elements per (way, set) bucket. */
+    unsigned slotsPerBucket() const { return bucketSlots; }
+
+    /**
+     * Visit every valid element as (tag, payload&). @p visitor returns
+     * void; iteration order is way-major.
+     */
+    template <typename Visitor>
+    void
+    forEach(Visitor &&visitor) const
+    {
+        for (const Slot &s : slots)
+            if (s.valid)
+                visitor(s.tag, s.payload);
+    }
+
+    /** Occupancy of one way (test support for uniform-way utilization). */
+    double
+    wayOccupancy(unsigned way) const
+    {
+        assert(way < ways);
+        std::size_t used = 0;
+        const std::size_t per_way = sets * bucketSlots;
+        for (std::size_t i = 0; i < per_way; ++i)
+            if (slots[std::size_t{way} * per_way + i].valid)
+                ++used;
+        return double(used) / double(per_way);
+    }
+
+  private:
+    struct Slot
+    {
+        Tag tag = 0;
+        Payload payload{};
+        bool valid = false;
+    };
+
+    /** First slot of bucket (way, index). */
+    Slot *
+    bucketAt(unsigned way, std::size_t index)
+    {
+        return &slots[(std::size_t{way} * sets + index) * bucketSlots];
+    }
+
+    /**
+     * First vacant candidate slot of @p tag, scanning ways from
+     * @p start and wrapping; @p found_way receives the way chosen.
+     */
+    Slot *
+    findVacant(Tag tag, unsigned start, unsigned &found_way)
+    {
+        for (unsigned i = 0; i < ways; ++i) {
+            const unsigned w = (start + i) % ways;
+            Slot *bucket = bucketAt(w, hashes.index(w, tag));
+            for (unsigned b = 0; b < bucketSlots; ++b) {
+                if (!bucket[b].valid) {
+                    found_way = w;
+                    return &bucket[b];
+                }
+            }
+        }
+        return nullptr;
+    }
+
+    const HashFamily &hashes;
+    unsigned ways;
+    std::size_t sets;
+    unsigned maxAttempts;
+    unsigned bucketSlots;
+    std::vector<Slot> slots;
+    std::size_t occupied = 0;
+    unsigned nextWay = 0;     //!< round-robin start way (§4.2)
+    unsigned victimRotor = 0; //!< bucket-slot victim rotation
+};
+
+} // namespace cdir
+
+#endif // CDIR_DIRECTORY_CUCKOO_TABLE_HH

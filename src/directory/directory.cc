@@ -1,0 +1,67 @@
+#include "directory/directory.hh"
+
+#include "directory/assoc_directory.hh"
+#include "directory/cuckoo_directory.hh"
+#include "directory/duplicate_tag_directory.hh"
+#include "directory/elbow_directory.hh"
+#include "directory/in_cache_directory.hh"
+#include "directory/tagless_directory.hh"
+
+namespace cdir {
+
+std::unique_ptr<Directory>
+makeDirectory(const DirectoryParams &p)
+{
+    switch (p.kind) {
+      case DirectoryKind::Cuckoo:
+        return std::make_unique<CuckooDirectory>(
+            p.numCaches, p.ways, p.sets, p.format, p.hash, p.maxAttempts,
+            p.hashSeed, p.bucketSlots, p.stashEntries);
+      case DirectoryKind::Sparse:
+        return std::make_unique<AssocDirectory>(p.numCaches, p.ways, p.sets,
+                                                p.format, HashKind::Modulo);
+      case DirectoryKind::Skewed:
+        return std::make_unique<AssocDirectory>(
+            p.numCaches, p.ways, p.sets, p.format,
+            p.hash == HashKind::Modulo ? HashKind::Skewing : p.hash,
+            p.hashSeed);
+      case DirectoryKind::DuplicateTag:
+        return std::make_unique<DuplicateTagDirectory>(
+            p.numCaches, p.sets, p.trackedCacheAssoc);
+      case DirectoryKind::InCache:
+        return std::make_unique<InCacheDirectory>(p.numCaches, p.ways,
+                                                  p.sets);
+      case DirectoryKind::Tagless:
+        return std::make_unique<TaglessDirectory>(
+            p.numCaches, p.sets, p.taglessBucketBits, 2, p.hashSeed);
+      case DirectoryKind::Elbow:
+        return std::make_unique<ElbowDirectory>(p.numCaches, p.ways,
+                                                p.sets, p.format,
+                                                p.hashSeed);
+    }
+    return nullptr;
+}
+
+std::string
+directoryKindName(DirectoryKind kind)
+{
+    switch (kind) {
+      case DirectoryKind::Cuckoo:
+        return "Cuckoo";
+      case DirectoryKind::Sparse:
+        return "Sparse";
+      case DirectoryKind::Skewed:
+        return "Skewed";
+      case DirectoryKind::DuplicateTag:
+        return "DuplicateTag";
+      case DirectoryKind::InCache:
+        return "InCache";
+      case DirectoryKind::Tagless:
+        return "Tagless";
+      case DirectoryKind::Elbow:
+        return "Elbow";
+    }
+    return "?";
+}
+
+} // namespace cdir

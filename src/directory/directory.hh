@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Coherence-directory interface shared by every organization.
+ *
+ * A directory slice tracks which private caches hold which block tags.
+ * The CMP simulator drives slices through three operations that mirror
+ * §4.2 of the paper:
+ *
+ *  - access(tag, cache, is_write): a read or write miss from a private
+ *    cache arrives at the home slice. If the tag is present the sharer
+ *    set is updated (a write also yields an invalidation vector for the
+ *    other sharers). If absent, a new entry is inserted — possibly
+ *    conflicting, displacing, or forcing the eviction of other entries
+ *    depending on the organization.
+ *  - removeSharer(tag, cache): a private cache evicted the block; the
+ *    entry empties and becomes reusable when the last sharer leaves.
+ *  - probe(tag): lookup without side effects.
+ *
+ * Every organization reports the same statistics, so the Fig. 8-12
+ * harnesses can iterate over organizations generically.
+ */
+
+#ifndef CDIR_DIRECTORY_DIRECTORY_HH
+#define CDIR_DIRECTORY_DIRECTORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitset.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "hash/hash_family.hh"
+#include "sharers/sharer_rep.hh"
+
+namespace cdir {
+
+/** A directory entry evicted because of a conflict (forced eviction). */
+struct EvictedEntry
+{
+    Tag tag = 0;
+    /** Caches that must invalidate the block (superset of sharers). */
+    DynamicBitset targets;
+};
+
+/** Outcome of one Directory::access call. */
+struct DirAccessResult
+{
+    bool hit = false;          //!< tag was already tracked
+    bool inserted = false;     //!< a new entry was allocated
+    /**
+     * The insertion procedure gave up (Cuckoo attempt bound) and
+     * discarded an entry; the discarded entry is in forcedEvictions.
+     */
+    bool insertDiscarded = false;
+    unsigned attempts = 0;     //!< insertion attempts (0 on hit)
+    /** Write hit: caches (other than the requester) to invalidate. */
+    bool hadSharerInvalidations = false;
+    DynamicBitset sharerInvalidations;
+    /** Entries evicted to make room (set conflicts / give-up). */
+    std::vector<EvictedEntry> forcedEvictions;
+};
+
+/** Statistics common to all organizations. */
+struct DirectoryStats
+{
+    std::uint64_t lookups = 0;          //!< access() calls
+    std::uint64_t hits = 0;             //!< access() found the tag
+    std::uint64_t insertions = 0;       //!< new entries allocated
+    std::uint64_t sharerAdds = 0;       //!< sharer added to existing entry
+    std::uint64_t writeUpgrades = 0;    //!< writes that invalidated sharers
+    std::uint64_t sharerRemovals = 0;   //!< removeSharer() calls that hit
+    std::uint64_t entryFrees = 0;       //!< entries emptied by last removal
+    std::uint64_t forcedEvictions = 0;  //!< entries evicted by conflicts
+    /** Cached blocks invalidated by forced evictions (sum of targets). */
+    std::uint64_t forcedBlockInvalidations = 0;
+    /** Insertions that exhausted the attempt budget (Cuckoo only). */
+    std::uint64_t insertFailures = 0;
+    RunningMean insertionAttempts;  //!< attempts per new-entry insertion
+    Histogram attemptHistogram{32}; //!< Fig. 11 distribution
+
+    /** Forced invalidation rate: forced evictions per insertion. */
+    double
+    forcedInvalidationRate() const
+    {
+        return insertions == 0
+                   ? 0.0
+                   : double(forcedEvictions) / double(insertions);
+    }
+
+    void
+    reset()
+    {
+        *this = DirectoryStats{};
+    }
+};
+
+/** Abstract coherence-directory slice (see file comment). */
+class Directory
+{
+  public:
+    /** @param num_caches private caches this slice can name. */
+    explicit Directory(std::size_t num_caches) : caches(num_caches) {}
+    virtual ~Directory() = default;
+
+    /**
+     * Handle a read or write miss from @p cache for block @p tag.
+     * See the file comment for semantics.
+     */
+    virtual DirAccessResult access(Tag tag, CacheId cache,
+                                   bool is_write) = 0;
+
+    /** Private cache @p cache evicted block @p tag. */
+    virtual void removeSharer(Tag tag, CacheId cache) = 0;
+
+    /**
+     * Side-effect-free lookup.
+     * @param tag     block tag to find.
+     * @param sharers if non-null and found, receives the (possibly
+     *                imprecise) sharer targets.
+     * @return true iff the tag is tracked.
+     */
+    virtual bool probe(Tag tag, DynamicBitset *sharers = nullptr) const = 0;
+
+    /** Currently valid entries. */
+    virtual std::size_t validEntries() const = 0;
+
+    /** Total entry slots. */
+    virtual std::size_t capacity() const = 0;
+
+    /** Human-readable organization name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Fraction of slots in use. */
+    double
+    occupancy() const
+    {
+        return capacity() == 0
+                   ? 0.0
+                   : double(validEntries()) / double(capacity());
+    }
+
+    /** Number of private caches tracked. */
+    std::size_t numCaches() const { return caches; }
+
+    /** Accumulated statistics. */
+    const DirectoryStats &stats() const { return statistics; }
+
+    /** Reset accumulated statistics (entries stay). */
+    void resetStats() { statistics.reset(); }
+
+  protected:
+    std::size_t caches;
+    DirectoryStats statistics;
+};
+
+/** Organization selector for the factory. */
+enum class DirectoryKind
+{
+    Cuckoo,
+    Sparse,
+    Skewed,
+    DuplicateTag,
+    InCache,
+    Tagless,
+    /** Elbow cache organization [37,38]: skewed lookup with at most one
+     *  displacement per insertion (§6 related work). */
+    Elbow,
+};
+
+/** Configuration for building any directory organization. */
+struct DirectoryParams
+{
+    DirectoryKind kind = DirectoryKind::Cuckoo;
+    std::size_t numCaches = 16;
+    unsigned ways = 4;            //!< associativity / cuckoo arity
+    std::size_t sets = 512;       //!< sets (per way for Cuckoo/Skewed)
+    SharerFormat format = SharerFormat::FullVector;
+    HashKind hash = HashKind::Skewing;  //!< Cuckoo/Skewed indexing
+    unsigned maxAttempts = 32;    //!< Cuckoo insertion bound (§4.2)
+    /** Elements per Cuckoo bucket (Panigrahy [30]; 1 = paper design). */
+    unsigned bucketSlots = 1;
+    /** Overflow-stash entries (Kirsch et al. [22]; 0 = paper design,
+     *  which discards overflow instead, §6). */
+    unsigned stashEntries = 0;
+    std::uint64_t hashSeed = 1;
+    /** DuplicateTag/Tagless: associativity of each tracked cache. */
+    unsigned trackedCacheAssoc = 2;
+    /** Tagless: bits per Bloom-filter bucket row. */
+    std::size_t taglessBucketBits = 64;
+
+    /** Total entry capacity implied by the parameters. */
+    std::size_t
+    totalEntries() const
+    {
+        return std::size_t{ways} * sets *
+               (kind == DirectoryKind::Cuckoo ? bucketSlots : 1);
+    }
+};
+
+/** Build a directory slice for @p params. */
+std::unique_ptr<Directory> makeDirectory(const DirectoryParams &params);
+
+/** Printable name of a DirectoryKind. */
+std::string directoryKindName(DirectoryKind kind);
+
+} // namespace cdir
+
+#endif // CDIR_DIRECTORY_DIRECTORY_HH

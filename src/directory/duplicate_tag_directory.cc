@@ -1,0 +1,159 @@
+#include "directory/duplicate_tag_directory.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/bit_util.hh"
+
+namespace cdir {
+
+DuplicateTagDirectory::DuplicateTagDirectory(std::size_t num_caches,
+                                             std::size_t num_sets,
+                                             unsigned cache_assoc)
+    : Directory(num_caches), sets(num_sets), cacheAssoc(cache_assoc)
+{
+    assert(isPowerOfTwo(num_sets));
+    assert(cache_assoc >= 1);
+    indexMask = num_sets - 1;
+    frames.resize(num_sets * num_caches * cache_assoc);
+}
+
+DirAccessResult
+DuplicateTagDirectory::access(Tag tag, CacheId cache, bool is_write)
+{
+    DirAccessResult result;
+    ++statistics.lookups;
+    ++useClock;
+    const std::size_t set = setIndex(tag);
+
+    // Wide associative compare: find every cache holding the tag.
+    DynamicBitset holders(caches);
+    for (CacheId c = 0; c < caches; ++c) {
+        const Frame *r = region(set, c);
+        for (unsigned w = 0; w < cacheAssoc; ++w) {
+            if (r[w].valid && r[w].tag == tag) {
+                holders.set(c);
+                break;
+            }
+        }
+    }
+
+    if (holders.any()) {
+        result.hit = true;
+        ++statistics.hits;
+    }
+
+    if (is_write) {
+        DynamicBitset targets = holders;
+        if (cache < targets.size() && targets.test(cache))
+            targets.reset(cache);
+        if (targets.any()) {
+            result.hadSharerInvalidations = true;
+            ++statistics.writeUpgrades;
+            // The invalidated caches' mirrored tags are cleared: the
+            // duplicate tags always reflect the private caches.
+            for (std::size_t c = targets.findFirst(); c < targets.size();
+                 c = targets.findNext(c)) {
+                Frame *r = region(set, static_cast<CacheId>(c));
+                for (unsigned w = 0; w < cacheAssoc; ++w) {
+                    if (r[w].valid && r[w].tag == tag) {
+                        r[w].valid = false;
+                        --occupied;
+                    }
+                }
+            }
+            result.sharerInvalidations = std::move(targets);
+        }
+    }
+
+    // Mirror the requester's allocation unless it already holds the tag
+    // (a write upgrade of a Shared copy).
+    if (!holders.test(cache)) {
+        Frame *r = region(set, cache);
+        Frame *dest = nullptr;
+        for (unsigned w = 0; w < cacheAssoc; ++w) {
+            if (!r[w].valid) {
+                dest = &r[w];
+                break;
+            }
+            if (dest == nullptr || r[w].lastUse < dest->lastUse)
+                dest = &r[w];
+        }
+        assert(dest != nullptr);
+        if (dest->valid) {
+            // Only reachable if the caller failed to report the cache's
+            // own eviction first; mirror the cache by evicting LRU.
+            EvictedEntry evicted;
+            evicted.tag = dest->tag;
+            evicted.targets = DynamicBitset(caches);
+            evicted.targets.set(cache);
+            ++statistics.forcedEvictions;
+            ++statistics.forcedBlockInvalidations;
+            result.forcedEvictions.push_back(std::move(evicted));
+            --occupied;
+        }
+        dest->tag = tag;
+        dest->valid = true;
+        dest->lastUse = useClock;
+        ++occupied;
+
+        result.attempts = 1;
+        if (!result.hit) {
+            // A new tag entered the directory; mirroring an additional
+            // cache's copy of an already-tracked tag is a sharer add.
+            result.inserted = true;
+            ++statistics.insertions;
+            statistics.insertionAttempts.add(1);
+            statistics.attemptHistogram.add(1);
+        } else if (!is_write) {
+            ++statistics.sharerAdds;
+        }
+    }
+    return result;
+}
+
+void
+DuplicateTagDirectory::removeSharer(Tag tag, CacheId cache)
+{
+    assert(cache < caches);
+    Frame *r = region(setIndex(tag), cache);
+    for (unsigned w = 0; w < cacheAssoc; ++w) {
+        if (r[w].valid && r[w].tag == tag) {
+            r[w].valid = false;
+            --occupied;
+            ++statistics.sharerRemovals;
+            return;
+        }
+    }
+}
+
+bool
+DuplicateTagDirectory::probe(Tag tag, DynamicBitset *sharers) const
+{
+    const std::size_t set = setIndex(tag);
+    bool found = false;
+    if (sharers)
+        *sharers = DynamicBitset(caches);
+    for (CacheId c = 0; c < caches; ++c) {
+        const Frame *r = region(set, c);
+        for (unsigned w = 0; w < cacheAssoc; ++w) {
+            if (r[w].valid && r[w].tag == tag) {
+                found = true;
+                if (sharers)
+                    sharers->set(c);
+                break;
+            }
+        }
+    }
+    return found;
+}
+
+std::string
+DuplicateTagDirectory::name() const
+{
+    std::ostringstream os;
+    os << "DuplicateTag-" << lookupWidth() << "x" << sets;
+    return os.str();
+}
+
+} // namespace cdir

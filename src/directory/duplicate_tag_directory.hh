@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Duplicate-Tag directory [7,16,43] (§3.1).
+ *
+ * Mirrors the tag arrays of every tracked private cache: a slice holds,
+ * for each of its sets, one tag frame per (cache, cache-way). Because
+ * the mirrored frame always exists, the organization never runs out of
+ * space — but a lookup must compare *all* caches x assoc tags in the
+ * set (332-wide in OpenSPARC T2), which is what makes its energy grow
+ * linearly per slice and quadratically in aggregate (Fig. 4).
+ *
+ * A slice covers a subset of the private-cache sets (Fig. 3): with S
+ * interleaved slices, slice tags are block addresses shifted right by
+ * log2(S), and the slice's set count is cacheSets / S so the low tag
+ * bits reproduce the cache set index exactly.
+ */
+
+#ifndef CDIR_DIRECTORY_DUPLICATE_TAG_DIRECTORY_HH
+#define CDIR_DIRECTORY_DUPLICATE_TAG_DIRECTORY_HH
+
+#include <vector>
+
+#include "directory/directory.hh"
+
+namespace cdir {
+
+/** Duplicate-Tag directory slice (see file comment). */
+class DuplicateTagDirectory : public Directory
+{
+  public:
+    /**
+     * @param num_caches  private caches mirrored.
+     * @param sets        sets in this slice (cacheSets / numSlices).
+     * @param cache_assoc associativity of each mirrored cache.
+     */
+    DuplicateTagDirectory(std::size_t num_caches, std::size_t sets,
+                          unsigned cache_assoc);
+
+    DirAccessResult access(Tag tag, CacheId cache, bool is_write) override;
+    void removeSharer(Tag tag, CacheId cache) override;
+    bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
+    std::size_t validEntries() const override { return occupied; }
+    std::size_t capacity() const override { return frames.size(); }
+    std::string name() const override;
+
+    /** Directory associativity: caches x cache ways (§3.1). */
+    unsigned lookupWidth() const
+    {
+        return static_cast<unsigned>(caches) * cacheAssoc;
+    }
+
+  private:
+    struct Frame
+    {
+        Tag tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setIndex(Tag tag) const { return tag & indexMask; }
+
+    /** Frames of @p cache's region within @p set. */
+    Frame *region(std::size_t set, CacheId cache)
+    {
+        return &frames[(set * caches + cache) * cacheAssoc];
+    }
+    const Frame *region(std::size_t set, CacheId cache) const
+    {
+        return &frames[(set * caches + cache) * cacheAssoc];
+    }
+
+    std::size_t sets;
+    unsigned cacheAssoc;
+    std::size_t indexMask;
+    std::vector<Frame> frames; //!< sets x caches x cacheAssoc
+    std::size_t occupied = 0;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace cdir
+
+#endif // CDIR_DIRECTORY_DUPLICATE_TAG_DIRECTORY_HH

@@ -1,0 +1,171 @@
+#include "directory/elbow_directory.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace cdir {
+
+ElbowDirectory::ElbowDirectory(std::size_t num_caches, unsigned num_ways,
+                               std::size_t num_sets, SharerFormat fmt,
+                               std::uint64_t hash_seed)
+    : Directory(num_caches),
+      format(fmt),
+      family(makeHashFamily(HashKind::Skewing, num_ways, num_sets,
+                            hash_seed)),
+      ways(num_ways),
+      sets(num_sets),
+      slots(std::size_t{num_ways} * num_sets)
+{}
+
+ElbowDirectory::Slot *
+ElbowDirectory::findSlot(Tag tag)
+{
+    for (unsigned w = 0; w < ways; ++w) {
+        Slot &s = slot(w, family->index(w, tag));
+        if (s.valid && s.tag == tag)
+            return &s;
+    }
+    return nullptr;
+}
+
+const ElbowDirectory::Slot *
+ElbowDirectory::findSlot(Tag tag) const
+{
+    return const_cast<ElbowDirectory *>(this)->findSlot(tag);
+}
+
+DirAccessResult
+ElbowDirectory::access(Tag tag, CacheId cache, bool is_write)
+{
+    DirAccessResult result;
+    ++statistics.lookups;
+    ++useClock;
+
+    if (Slot *s = findSlot(tag)) {
+        result.hit = true;
+        ++statistics.hits;
+        s->lastUse = useClock;
+        if (is_write) {
+            DynamicBitset targets;
+            s->rep->invalidationTargets(targets);
+            if (cache < targets.size() && targets.test(cache))
+                targets.reset(cache);
+            if (targets.any()) {
+                result.hadSharerInvalidations = true;
+                result.sharerInvalidations = std::move(targets);
+                ++statistics.writeUpgrades;
+            }
+            s->rep->clear();
+            s->rep->add(cache);
+        } else {
+            s->rep->add(cache);
+            ++statistics.sharerAdds;
+        }
+        return result;
+    }
+
+    // Miss: take a vacant candidate if one exists.
+    Slot *dest = nullptr;
+    unsigned attempts = 1;
+    for (unsigned w = 0; w < ways; ++w) {
+        Slot &s = slot(w, family->index(w, tag));
+        if (!s.valid) {
+            dest = &s;
+            break;
+        }
+    }
+
+    if (dest == nullptr) {
+        // One elbow move: relocate the first candidate occupant whose
+        // alternate slot in another way is vacant (requires the extra
+        // candidate lookups the paper charges this design for).
+        for (unsigned w = 0; w < ways && dest == nullptr; ++w) {
+            Slot &occupant = slot(w, family->index(w, tag));
+            for (unsigned alt = 0; alt < ways; ++alt) {
+                if (alt == w)
+                    continue;
+                Slot &target =
+                    slot(alt, family->index(alt, occupant.tag));
+                if (!target.valid) {
+                    target = std::move(occupant);
+                    occupant.valid = false;
+                    occupant.rep.reset();
+                    dest = &occupant;
+                    ++relocated;
+                    attempts = 2; // the relocation write
+                    break;
+                }
+            }
+        }
+    }
+
+    if (dest == nullptr) {
+        // No single-hop relocation possible: evict the LRU candidate.
+        Slot *victim = nullptr;
+        for (unsigned w = 0; w < ways; ++w) {
+            Slot &s = slot(w, family->index(w, tag));
+            if (victim == nullptr || s.lastUse < victim->lastUse)
+                victim = &s;
+        }
+        assert(victim != nullptr && victim->valid);
+        EvictedEntry evicted;
+        evicted.tag = victim->tag;
+        victim->rep->invalidationTargets(evicted.targets);
+        ++statistics.forcedEvictions;
+        statistics.forcedBlockInvalidations += evicted.targets.count();
+        result.forcedEvictions.push_back(std::move(evicted));
+        victim->valid = false;
+        victim->rep.reset();
+        --occupied;
+        dest = victim;
+    }
+
+    dest->tag = tag;
+    dest->rep = makeSharerRep(format, caches);
+    dest->rep->add(cache);
+    dest->valid = true;
+    dest->lastUse = useClock;
+    ++occupied;
+
+    result.inserted = true;
+    result.attempts = attempts;
+    ++statistics.insertions;
+    statistics.insertionAttempts.add(attempts);
+    statistics.attemptHistogram.add(attempts);
+    return result;
+}
+
+void
+ElbowDirectory::removeSharer(Tag tag, CacheId cache)
+{
+    if (Slot *s = findSlot(tag)) {
+        ++statistics.sharerRemovals;
+        if (s->rep->remove(cache)) {
+            s->valid = false;
+            s->rep.reset();
+            --occupied;
+            ++statistics.entryFrees;
+        }
+    }
+}
+
+bool
+ElbowDirectory::probe(Tag tag, DynamicBitset *sharers) const
+{
+    const Slot *s = findSlot(tag);
+    if (!s)
+        return false;
+    if (sharers)
+        s->rep->invalidationTargets(*sharers);
+    return true;
+}
+
+std::string
+ElbowDirectory::name() const
+{
+    std::ostringstream os;
+    os << "Elbow-" << ways << "x" << sets;
+    return os.str();
+}
+
+} // namespace cdir

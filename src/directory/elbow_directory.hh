@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Elbow cache directory (Spjuth et al. [37,38]; §6 related work).
+ *
+ * A skewed-associative organization that, on a conflict, performs *at
+ * most one displacement*: it scans the incoming tag's candidate slots
+ * for an occupant whose alternate location in another way is vacant,
+ * relocates that occupant there, and inserts into the freed slot. If no
+ * candidate can be relocated in one hop, the LRU candidate is evicted
+ * (a forced invalidation).
+ *
+ * The paper positions the Elbow cache between the skewed-associative
+ * and Cuckoo organizations: the single displacement needs extra lookups
+ * to choose its victim (energy), yet still experiences more forced
+ * invalidations than the unbounded-displacement Cuckoo directory. The
+ * ablation bench quantifies exactly that gap.
+ */
+
+#ifndef CDIR_DIRECTORY_ELBOW_DIRECTORY_HH
+#define CDIR_DIRECTORY_ELBOW_DIRECTORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "directory/directory.hh"
+
+namespace cdir {
+
+/** Elbow-cache directory slice (see file comment). */
+class ElbowDirectory : public Directory
+{
+  public:
+    /**
+     * @param num_caches private caches tracked.
+     * @param ways       associativity (one skewing function per way).
+     * @param sets       sets per way.
+     * @param format     sharer-set representation.
+     * @param hash_seed  seed for the hash family.
+     */
+    ElbowDirectory(std::size_t num_caches, unsigned ways,
+                   std::size_t sets, SharerFormat format,
+                   std::uint64_t hash_seed = 1);
+
+    DirAccessResult access(Tag tag, CacheId cache, bool is_write) override;
+    void removeSharer(Tag tag, CacheId cache) override;
+    bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
+    std::size_t validEntries() const override { return occupied; }
+    std::size_t capacity() const override { return slots.size(); }
+    std::string name() const override;
+
+    /** Insertions resolved by a single relocation (no eviction). */
+    std::uint64_t relocations() const { return relocated; }
+
+  private:
+    struct Slot
+    {
+        Tag tag = 0;
+        std::unique_ptr<SharerRep> rep;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Slot &slot(unsigned way, std::size_t index)
+    {
+        return slots[std::size_t{way} * sets + index];
+    }
+    Slot *findSlot(Tag tag);
+    const Slot *findSlot(Tag tag) const;
+
+    SharerFormat format;
+    std::unique_ptr<HashFamily> family;
+    unsigned ways;
+    std::size_t sets;
+    std::vector<Slot> slots;
+    std::size_t occupied = 0;
+    std::uint64_t useClock = 0;
+    std::uint64_t relocated = 0;
+};
+
+} // namespace cdir
+
+#endif // CDIR_DIRECTORY_ELBOW_DIRECTORY_HH

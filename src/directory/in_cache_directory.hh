@@ -1,0 +1,46 @@
+/**
+ * @file
+ * In-Cache directory (§3.2): sharer vectors grafted onto the tags of the
+ * inclusive shared cache.
+ *
+ * The tag array already names every L2-resident block, so the directory
+ * adds only the sharer bits — but must provision them for *every* L2
+ * tag, although privately cached blocks are a small subset ("grossly
+ * over-provisioning the sharer storage", §3.2); the analytical model
+ * charges exactly that. Behaviourally the structure is a set-associative
+ * directory with the shared cache's geometry, and a forced eviction
+ * corresponds to an inclusion victim. Only meaningful for the Shared-L2
+ * configuration (private L2s cannot include each other, §5.6).
+ */
+
+#ifndef CDIR_DIRECTORY_IN_CACHE_DIRECTORY_HH
+#define CDIR_DIRECTORY_IN_CACHE_DIRECTORY_HH
+
+#include "directory/assoc_directory.hh"
+
+namespace cdir {
+
+/** In-Cache directory slice (see file comment). */
+class InCacheDirectory : public AssocDirectory
+{
+  public:
+    /**
+     * @param num_caches private caches tracked.
+     * @param l2_assoc   shared-cache associativity (Table 1: 16).
+     * @param l2_sets    shared-cache sets covered by this slice.
+     */
+    InCacheDirectory(std::size_t num_caches, unsigned l2_assoc,
+                     std::size_t l2_sets)
+        : AssocDirectory(num_caches, l2_assoc, l2_sets,
+                         SharerFormat::FullVector, HashKind::Modulo)
+    {}
+
+    std::string name() const override
+    {
+        return "InCache-" + AssocDirectory::name().substr(7);
+    }
+};
+
+} // namespace cdir
+
+#endif // CDIR_DIRECTORY_IN_CACHE_DIRECTORY_HH

@@ -1,0 +1,205 @@
+#include "directory/tagless_directory.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "common/bit_util.hh"
+#include "common/rng.hh"
+#include "hash/strong_hash.hh"
+
+namespace cdir {
+
+TaglessDirectory::TaglessDirectory(std::size_t num_caches,
+                                   std::size_t num_sets,
+                                   std::size_t bucket_bits,
+                                   unsigned num_grids, std::uint64_t seed)
+    : Directory(num_caches),
+      sets(num_sets),
+      bucketBits(bucket_bits),
+      grids(num_grids)
+{
+    assert(isPowerOfTwo(num_sets));
+    assert(isPowerOfTwo(bucket_bits));
+    assert(num_grids >= 1);
+    indexMask = num_sets - 1;
+    bucketMask = bucket_bits - 1;
+    Rng rng(seed);
+    for (unsigned g = 0; g < grids; ++g)
+        hashKeys.push_back(rng.next() | 1);
+    counters.assign(std::size_t{grids} * sets * num_caches * bucket_bits,
+                    0);
+}
+
+std::size_t
+TaglessDirectory::bucketIndex(unsigned grid, Tag tag) const
+{
+    // Hash the tag bits above the set index so rows discriminate within
+    // a set.
+    return static_cast<std::size_t>(
+        StrongHashFamily::mix((tag >> 1) * hashKeys[grid] + grid) &
+        bucketMask);
+}
+
+std::uint16_t &
+TaglessDirectory::counter(unsigned grid, std::size_t set, CacheId cache,
+                          std::size_t bucket)
+{
+    return counters[((std::size_t{grid} * sets + set) * caches + cache) *
+                        bucketBits +
+                    bucket];
+}
+
+const std::uint16_t &
+TaglessDirectory::counter(unsigned grid, std::size_t set, CacheId cache,
+                          std::size_t bucket) const
+{
+    return const_cast<TaglessDirectory *>(this)->counter(grid, set, cache,
+                                                         bucket);
+}
+
+bool
+TaglessDirectory::filterMatch(Tag tag, CacheId cache) const
+{
+    const std::size_t set = setIndex(tag);
+    for (unsigned g = 0; g < grids; ++g)
+        if (counter(g, set, cache, bucketIndex(g, tag)) == 0)
+            return false;
+    return true;
+}
+
+void
+TaglessDirectory::filterAdd(Tag tag, CacheId cache)
+{
+    const std::size_t set = setIndex(tag);
+    for (unsigned g = 0; g < grids; ++g)
+        ++counter(g, set, cache, bucketIndex(g, tag));
+}
+
+void
+TaglessDirectory::filterRemove(Tag tag, CacheId cache)
+{
+    const std::size_t set = setIndex(tag);
+    for (unsigned g = 0; g < grids; ++g) {
+        auto &c = counter(g, set, cache, bucketIndex(g, tag));
+        assert(c > 0);
+        --c;
+    }
+}
+
+DirAccessResult
+TaglessDirectory::access(Tag tag, CacheId cache, bool is_write)
+{
+    DirAccessResult result;
+    ++statistics.lookups;
+
+    auto shadow_it = shadow.find(tag);
+    const bool tracked = shadow_it != shadow.end();
+
+    // Filter column read: superset of sharers.
+    DynamicBitset filter_holders(caches);
+    for (CacheId c = 0; c < caches; ++c)
+        if (filterMatch(tag, c))
+            filter_holders.set(c);
+
+    if (tracked) {
+        result.hit = true;
+        ++statistics.hits;
+    }
+
+    if (is_write) {
+        DynamicBitset targets = filter_holders;
+        if (cache < targets.size() && targets.test(cache))
+            targets.reset(cache);
+        if (targets.any()) {
+            result.hadSharerInvalidations = true;
+            ++statistics.writeUpgrades;
+            // Acks reveal the true holders; clear their filter state.
+            if (tracked) {
+                DynamicBitset &truth = shadow_it->second;
+                for (std::size_t c = targets.findFirst();
+                     c < targets.size(); c = targets.findNext(c)) {
+                    if (truth.test(c)) {
+                        filterRemove(tag, static_cast<CacheId>(c));
+                        truth.reset(c);
+                    } else {
+                        ++spurious;
+                    }
+                }
+            } else {
+                spurious += targets.count();
+            }
+            result.sharerInvalidations = std::move(targets);
+        }
+    }
+
+    // Track the requester's allocation unless it already holds the tag.
+    const bool requester_holds =
+        tracked && shadow_it->second.test(cache);
+    if (!requester_holds) {
+        if (!tracked) {
+            shadow_it =
+                shadow.emplace(tag, DynamicBitset(caches)).first;
+        }
+        shadow_it->second.set(cache);
+        filterAdd(tag, cache);
+        result.attempts = 1;
+        if (!tracked) {
+            // New tag; adding a cache to a tracked tag is a sharer add.
+            result.inserted = true;
+            ++statistics.insertions;
+            statistics.insertionAttempts.add(1);
+            statistics.attemptHistogram.add(1);
+        } else if (!is_write) {
+            ++statistics.sharerAdds;
+        }
+    }
+    // An emptied entry disappears from the shadow map.
+    if (shadow_it != shadow.end() && shadow_it->second.none())
+        shadow.erase(shadow_it);
+    return result;
+}
+
+void
+TaglessDirectory::removeSharer(Tag tag, CacheId cache)
+{
+    auto it = shadow.find(tag);
+    if (it == shadow.end() || !it->second.test(cache))
+        return;
+    ++statistics.sharerRemovals;
+    filterRemove(tag, cache);
+    it->second.reset(cache);
+    if (it->second.none()) {
+        shadow.erase(it);
+        ++statistics.entryFrees;
+    }
+}
+
+bool
+TaglessDirectory::probe(Tag tag, DynamicBitset *sharers) const
+{
+    if (sharers) {
+        *sharers = DynamicBitset(caches);
+        for (CacheId c = 0; c < caches; ++c)
+            if (filterMatch(tag, c))
+                sharers->set(c);
+    }
+    return shadow.contains(tag);
+}
+
+std::size_t
+TaglessDirectory::capacity() const
+{
+    // Design capacity: the blocks of the mirrored cache sets. The
+    // filters themselves have no entry notion.
+    return sets * caches;
+}
+
+std::string
+TaglessDirectory::name() const
+{
+    std::ostringstream os;
+    os << "Tagless-" << grids << "g" << bucketBits << "b x" << sets;
+    return os.str();
+}
+
+} // namespace cdir

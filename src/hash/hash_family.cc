@@ -1,0 +1,24 @@
+#include "hash/hash_family.hh"
+
+#include "hash/skewing_hash.hh"
+#include "hash/strong_hash.hh"
+
+namespace cdir {
+
+std::unique_ptr<HashFamily>
+makeHashFamily(HashKind kind, unsigned num_ways, std::size_t sets_per_way,
+               std::uint64_t seed)
+{
+    switch (kind) {
+      case HashKind::Skewing:
+        return std::make_unique<SkewingHashFamily>(num_ways, sets_per_way);
+      case HashKind::Strong:
+        return std::make_unique<StrongHashFamily>(num_ways, sets_per_way,
+                                                  seed);
+      case HashKind::Modulo:
+        return std::make_unique<ModuloHashFamily>(num_ways, sets_per_way);
+    }
+    return nullptr;
+}
+
+} // namespace cdir

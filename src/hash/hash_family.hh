@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hash-function family interface used to index the ways of skewed and
+ * Cuckoo structures.
+ *
+ * A d-ary Cuckoo directory indexes each of its d direct-mapped ways
+ * through a *different* hash function over the block tag (§4 of the
+ * paper). The family abstraction produces, for way w in [0, d), an index
+ * in [0, setsPerWay).
+ */
+
+#ifndef CDIR_HASH_HASH_FAMILY_HH
+#define CDIR_HASH_HASH_FAMILY_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace cdir {
+
+/** Family of per-way hash functions over block tags. */
+class HashFamily
+{
+  public:
+    virtual ~HashFamily() = default;
+
+    /** Number of member functions (ways). */
+    virtual unsigned numWays() const = 0;
+
+    /** Size of each function's codomain (sets per way). */
+    virtual std::size_t setsPerWay() const = 0;
+
+    /**
+     * Index @p tag through member function @p way.
+     *
+     * @param way  function selector, must be < numWays().
+     * @param tag  block tag to hash.
+     * @return index in [0, setsPerWay()).
+     */
+    virtual std::size_t index(unsigned way, Tag tag) const = 0;
+};
+
+/** Which family implementation a directory should use. */
+enum class HashKind
+{
+    /** Seznec–Bodin skewing functions (paper default, §5.5). */
+    Skewing,
+    /** Strong 64-bit mixing functions (paper's cryptographic stand-in). */
+    Strong,
+    /** Low-order index bits, identical for every way (set-associative). */
+    Modulo,
+};
+
+/**
+ * Create a hash family.
+ *
+ * @param kind         implementation to build.
+ * @param num_ways     number of member functions.
+ * @param sets_per_way codomain size; must be a power of two.
+ * @param seed         seed for the Strong family (ignored otherwise).
+ */
+std::unique_ptr<HashFamily> makeHashFamily(HashKind kind, unsigned num_ways,
+                                           std::size_t sets_per_way,
+                                           std::uint64_t seed = 1);
+
+} // namespace cdir
+
+#endif // CDIR_HASH_HASH_FAMILY_HH

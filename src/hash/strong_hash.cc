@@ -1,0 +1,59 @@
+#include "hash/strong_hash.hh"
+
+#include <cassert>
+
+#include "common/bit_util.hh"
+#include "common/rng.hh"
+
+namespace cdir {
+
+StrongHashFamily::StrongHashFamily(unsigned num_ways,
+                                   std::size_t sets_per_way,
+                                   std::uint64_t seed)
+    : ways(num_ways), sets(sets_per_way)
+{
+    assert(num_ways >= 1);
+    assert(isPowerOfTwo(sets_per_way));
+    mask = sets_per_way - 1;
+    Rng rng(seed);
+    keys.reserve(num_ways);
+    for (unsigned w = 0; w < num_ways; ++w)
+        keys.push_back(rng.next() | 1); // odd keys for good multiply mixing
+}
+
+std::uint64_t
+StrongHashFamily::mix(std::uint64_t v)
+{
+    // MurmurHash3 fmix64 finalizer: full 64-bit avalanche.
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdull;
+    v ^= v >> 33;
+    v *= 0xc4ceb9fe1a85ec53ull;
+    v ^= v >> 33;
+    return v;
+}
+
+std::size_t
+StrongHashFamily::index(unsigned way, Tag tag) const
+{
+    assert(way < ways);
+    return static_cast<std::size_t>(mix(tag * keys[way] + way) & mask);
+}
+
+ModuloHashFamily::ModuloHashFamily(unsigned num_ways,
+                                   std::size_t sets_per_way)
+    : ways(num_ways), sets(sets_per_way)
+{
+    assert(isPowerOfTwo(sets_per_way));
+    mask = sets_per_way - 1;
+}
+
+std::size_t
+ModuloHashFamily::index(unsigned way, Tag tag) const
+{
+    assert(way < ways);
+    (void)way;
+    return static_cast<std::size_t>(tag & mask);
+}
+
+} // namespace cdir

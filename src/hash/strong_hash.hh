@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Strong mixing hash family.
+ *
+ * §5.1 of the paper evaluates the fundamental d-ary Cuckoo behaviour with
+ * "strong cryptographic functions" to avoid bias from hash selection, and
+ * §5.5 compares them against the skewing family. True cryptographic
+ * hashes are overkill for that purpose; a 64-bit finalizer-quality mixer
+ * (SplitMix64 / MurmurHash3 finalizer) is statistically indistinguishable
+ * for table indexing and is what we use, with an independent random key
+ * per way.
+ */
+
+#ifndef CDIR_HASH_STRONG_HASH_HH
+#define CDIR_HASH_STRONG_HASH_HH
+
+#include <vector>
+
+#include "hash/hash_family.hh"
+
+namespace cdir {
+
+/** Strong mixing hash family (see file comment). */
+class StrongHashFamily : public HashFamily
+{
+  public:
+    /**
+     * @param num_ways     number of member functions.
+     * @param sets_per_way codomain size; must be a power of two.
+     * @param seed         seeds the per-way keys.
+     */
+    StrongHashFamily(unsigned num_ways, std::size_t sets_per_way,
+                     std::uint64_t seed);
+
+    unsigned numWays() const override { return ways; }
+    std::size_t setsPerWay() const override { return sets; }
+    std::size_t index(unsigned way, Tag tag) const override;
+
+    /** The shared 64-bit mixer (exposed for tests). */
+    static std::uint64_t mix(std::uint64_t v);
+
+  private:
+    unsigned ways;
+    std::size_t sets;
+    std::uint64_t mask;
+    std::vector<std::uint64_t> keys;
+};
+
+/** Modulo (low-order bits) family: every way uses the same index. */
+class ModuloHashFamily : public HashFamily
+{
+  public:
+    ModuloHashFamily(unsigned num_ways, std::size_t sets_per_way);
+
+    unsigned numWays() const override { return ways; }
+    std::size_t setsPerWay() const override { return sets; }
+    std::size_t index(unsigned way, Tag tag) const override;
+
+  private:
+    unsigned ways;
+    std::size_t sets;
+    std::uint64_t mask;
+};
+
+} // namespace cdir
+
+#endif // CDIR_HASH_STRONG_HASH_HH

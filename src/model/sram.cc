@@ -1,0 +1,41 @@
+#include "model/sram.hh"
+
+#include <cmath>
+
+namespace cdir {
+
+double
+sramAccessEnergy(std::size_t rows, double bits_read, double bits_written,
+                 const SramTech &tech)
+{
+    const double decode =
+        rows > 1 ? tech.decodePerRowBit *
+                       std::log2(static_cast<double>(rows))
+                 : 0.0;
+    return bits_read + tech.writeFactor * bits_written + decode;
+}
+
+double
+sramAreaBits(double total_bits)
+{
+    return total_bits;
+}
+
+double
+l2TagLookupEnergy(const SramTech &tech)
+{
+    // 1MB / 64B blocks / 16 ways = 1024 sets. Tag = 48 - 6 (block
+    // offset) - 10 (index) = 32 bits; +2 state bits per way. A lookup
+    // senses all 16 ways.
+    const std::size_t rows = 1024;
+    const double bits_per_way = 32 + 2;
+    return sramAccessEnergy(rows, 16 * bits_per_way, 0.0, tech);
+}
+
+double
+l2DataAreaBits()
+{
+    return 8.0 * 1024.0 * 1024.0 * 8.0 / 8.0; // 1MB in bits
+}
+
+} // namespace cdir

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CACTI-lite SRAM cost model.
+ *
+ * The paper reports directory energy relative to a 16-way 1MB L2 tag
+ * lookup and area relative to a 1MB L2 data array (Fig. 4/13), computed
+ * with CACTI. CACTI itself is not redistributable here, so we use a
+ * bit-level proxy (see DESIGN.md "Substitutions"):
+ *
+ *  - dynamic energy of an access = bits read + writeFactor * bits
+ *    written + a decoder term proportional to log2(rows);
+ *  - area = bits stored (cell area dominates at these array sizes).
+ *
+ * Because every organization is normalized by the *same* proxy applied
+ * to the L2 reference structures, technology constants cancel and the
+ * relative ordering and growth exponents — what Fig. 4/13 actually
+ * communicate — are preserved.
+ */
+
+#ifndef CDIR_MODEL_SRAM_HH
+#define CDIR_MODEL_SRAM_HH
+
+#include <cstddef>
+
+namespace cdir {
+
+/** Technology knobs of the bit-level proxy. */
+struct SramTech
+{
+    /** Energy of writing one bit relative to reading one bit. */
+    double writeFactor = 1.2;
+    /** Decoder/wordline energy per log2(rows), in bit-read units. */
+    double decodePerRowBit = 4.0;
+};
+
+/**
+ * Dynamic energy of one array access, in bit-read units.
+ *
+ * @param rows       rows in the array (decoder depth).
+ * @param bits_read  bits sensed.
+ * @param bits_written bits driven.
+ * @param tech       technology knobs.
+ */
+double sramAccessEnergy(std::size_t rows, double bits_read,
+                        double bits_written, const SramTech &tech = {});
+
+/** Area of an array in bit units. */
+double sramAreaBits(double total_bits);
+
+/**
+ * Reference energy: one lookup of a 1MB, 16-way, 64B-block L2 tag array
+ * (48-bit physical addresses) — the "100%" of the Fig. 4/13 energy axes.
+ */
+double l2TagLookupEnergy(const SramTech &tech = {});
+
+/** Reference area: 1MB L2 data array in bits — the "100%" area axis. */
+double l2DataAreaBits();
+
+} // namespace cdir
+
+#endif // CDIR_MODEL_SRAM_HH

@@ -1,0 +1,110 @@
+#include "sharers/coarse_vector.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bit_util.hh"
+
+namespace cdir {
+
+CoarseVectorRep::CoarseVectorRep(std::size_t num_caches)
+    : numCaches(num_caches)
+{
+    assert(num_caches >= 2);
+    const unsigned ptr_bits = bitsToName(num_caches);
+    budgetBits = 2 * ptr_bits;
+    maxPointers = budgetBits / ptr_bits; // = 2 by construction
+    numGroups = std::min<std::size_t>(budgetBits, num_caches);
+    cachesPerGroup = (num_caches + numGroups - 1) / numGroups;
+    groups = DynamicBitset(numGroups);
+    pointers.reserve(maxPointers);
+}
+
+void
+CoarseVectorRep::add(CacheId cache)
+{
+    assert(cache < numCaches);
+    if (!coarse) {
+        if (std::find(pointers.begin(), pointers.end(), cache) !=
+            pointers.end()) {
+            return; // already an exact sharer
+        }
+        if (pointers.size() < maxPointers) {
+            pointers.push_back(cache);
+            ++sharers;
+            return;
+        }
+        // Overflow: reinterpret the bits as a coarse group vector.
+        coarse = true;
+        groups.clear();
+        for (CacheId p : pointers)
+            groups.set(group(p));
+        pointers.clear();
+    }
+    if (!mightContain(cache))
+        groups.set(group(cache));
+    ++sharers;
+}
+
+bool
+CoarseVectorRep::remove(CacheId cache)
+{
+    assert(cache < numCaches);
+    if (!coarse) {
+        auto it = std::find(pointers.begin(), pointers.end(), cache);
+        if (it != pointers.end()) {
+            pointers.erase(it);
+            assert(sharers > 0);
+            --sharers;
+        }
+        return sharers == 0;
+    }
+    // Coarse mode: the group bit must stay set (it may cover other
+    // sharers), but the exact count still tracks emptiness.
+    if (sharers > 0)
+        --sharers;
+    if (sharers == 0)
+        clear();
+    return sharers == 0;
+}
+
+bool
+CoarseVectorRep::mightContain(CacheId cache) const
+{
+    if (cache >= numCaches)
+        return false;
+    if (!coarse) {
+        return std::find(pointers.begin(), pointers.end(), cache) !=
+               pointers.end();
+    }
+    return groups.test(group(cache));
+}
+
+void
+CoarseVectorRep::invalidationTargets(DynamicBitset &out) const
+{
+    out = DynamicBitset(numCaches);
+    if (!coarse) {
+        for (CacheId p : pointers)
+            out.set(p);
+        return;
+    }
+    for (std::size_t g = groups.findFirst(); g < groups.size();
+         g = groups.findNext(g)) {
+        const std::size_t lo = g * cachesPerGroup;
+        const std::size_t hi = std::min(lo + cachesPerGroup, numCaches);
+        for (std::size_t c = lo; c < hi; ++c)
+            out.set(c);
+    }
+}
+
+void
+CoarseVectorRep::clear()
+{
+    coarse = false;
+    pointers.clear();
+    groups.clear();
+    sharers = 0;
+}
+
+} // namespace cdir

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Coarse / limited-pointer sharer representation.
+ *
+ * Matches the paper's "Sparse Coarse" entry format (§3.3): the entry
+ * budgets 2*log2(#caches) bits. While the sharer count fits, the bits
+ * hold exact cache pointers (log2(N) bits each, so two pointers). On
+ * overflow the same bits are reinterpreted as a coarse vector (Gupta et
+ * al. [17]; SGI Origin [24]) in which each bit stands for a *group* of
+ * ceil(N / 2log2(N)) caches; an invalidation then targets every cache in
+ * every marked group.
+ *
+ * Once coarse, individual removals cannot clear a group bit (another
+ * sharer may map to the same group); the representation shrinks back to
+ * pointer mode only when the exact count drops to the pointer capacity
+ * *and* the remaining sharers are re-learnable — which hardware cannot
+ * do, so we conservatively stay coarse until the entry empties.
+ */
+
+#ifndef CDIR_SHARERS_COARSE_VECTOR_HH
+#define CDIR_SHARERS_COARSE_VECTOR_HH
+
+#include <vector>
+
+#include "sharers/sharer_rep.hh"
+
+namespace cdir {
+
+/** Limited-pointer-with-coarse-fallback representation. */
+class CoarseVectorRep : public SharerRep
+{
+  public:
+    explicit CoarseVectorRep(std::size_t num_caches);
+
+    void add(CacheId cache) override;
+    bool remove(CacheId cache) override;
+    bool mightContain(CacheId cache) const override;
+    void invalidationTargets(DynamicBitset &out) const override;
+    std::size_t count() const override { return sharers; }
+    bool precise() const override { return !coarse; }
+    unsigned storageBits() const override { return budgetBits; }
+    void clear() override;
+
+    /** True iff currently in coarse (overflowed) mode. */
+    bool isCoarse() const { return coarse; }
+
+    /** Number of exact pointers the bit budget can hold. */
+    unsigned pointerCapacity() const { return maxPointers; }
+
+    /** Caches represented by one coarse-vector bit. */
+    std::size_t groupSize() const { return cachesPerGroup; }
+
+  private:
+    std::size_t group(CacheId cache) const { return cache / cachesPerGroup; }
+
+    std::size_t numCaches;
+    unsigned budgetBits;     //!< 2 * log2(numCaches)
+    unsigned maxPointers;    //!< exact pointers fitting in the budget
+    std::size_t numGroups;   //!< coarse-vector width
+    std::size_t cachesPerGroup;
+
+    bool coarse = false;
+    std::vector<CacheId> pointers;  //!< exact mode contents
+    DynamicBitset groups;           //!< coarse mode contents
+    std::size_t sharers = 0;        //!< exact count (see sharer_rep.hh)
+};
+
+} // namespace cdir
+
+#endif // CDIR_SHARERS_COARSE_VECTOR_HH

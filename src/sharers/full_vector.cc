@@ -1,0 +1,55 @@
+#include "sharers/full_vector.hh"
+
+#include <cassert>
+
+namespace cdir {
+
+FullVectorRep::FullVectorRep(std::size_t num_caches) : bits(num_caches) {}
+
+void
+FullVectorRep::add(CacheId cache)
+{
+    assert(cache < bits.size());
+    if (!bits.test(cache)) {
+        bits.set(cache);
+        ++sharers;
+    }
+}
+
+bool
+FullVectorRep::remove(CacheId cache)
+{
+    assert(cache < bits.size());
+    if (bits.test(cache)) {
+        bits.reset(cache);
+        --sharers;
+    }
+    return sharers == 0;
+}
+
+bool
+FullVectorRep::mightContain(CacheId cache) const
+{
+    return cache < bits.size() && bits.test(cache);
+}
+
+void
+FullVectorRep::invalidationTargets(DynamicBitset &out) const
+{
+    out = bits;
+}
+
+unsigned
+FullVectorRep::storageBits() const
+{
+    return static_cast<unsigned>(bits.size());
+}
+
+void
+FullVectorRep::clear()
+{
+    bits.clear();
+    sharers = 0;
+}
+
+} // namespace cdir

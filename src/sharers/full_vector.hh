@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Full bit-vector sharer representation: one presence bit per cache
+ * (Censier & Feautrier [9]). Precise, but storage grows linearly with
+ * the number of caches — the scalability problem §3.2 describes.
+ */
+
+#ifndef CDIR_SHARERS_FULL_VECTOR_HH
+#define CDIR_SHARERS_FULL_VECTOR_HH
+
+#include "sharers/sharer_rep.hh"
+
+namespace cdir {
+
+/** Full bit-vector representation (see file comment). */
+class FullVectorRep : public SharerRep
+{
+  public:
+    explicit FullVectorRep(std::size_t num_caches);
+
+    void add(CacheId cache) override;
+    bool remove(CacheId cache) override;
+    bool mightContain(CacheId cache) const override;
+    void invalidationTargets(DynamicBitset &out) const override;
+    std::size_t count() const override { return sharers; }
+    bool precise() const override { return true; }
+    unsigned storageBits() const override;
+    void clear() override;
+
+  private:
+    DynamicBitset bits;
+    std::size_t sharers = 0;
+};
+
+} // namespace cdir
+
+#endif // CDIR_SHARERS_FULL_VECTOR_HH

@@ -1,0 +1,111 @@
+#include "sharers/hierarchical_vector.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace cdir {
+
+HierarchicalVectorRep::HierarchicalVectorRep(std::size_t num_caches,
+                                             std::size_t cluster_size)
+    : numCaches(num_caches)
+{
+    assert(num_caches >= 1);
+    if (cluster_size == 0) {
+        cluster_size = static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(num_caches))));
+    }
+    cachesPerCluster = cluster_size;
+    numClusters = (num_caches + cluster_size - 1) / cluster_size;
+    root = DynamicBitset(numClusters);
+    leaves.assign(numClusters, DynamicBitset());
+    leafCounts.assign(numClusters, 0);
+}
+
+void
+HierarchicalVectorRep::add(CacheId cache)
+{
+    assert(cache < numCaches);
+    const std::size_t cl = cluster(cache);
+    if (!root.test(cl)) {
+        root.set(cl);
+        leaves[cl] = DynamicBitset(cachesPerCluster);
+    }
+    const std::size_t within = cache % cachesPerCluster;
+    if (!leaves[cl].test(within)) {
+        leaves[cl].set(within);
+        ++leafCounts[cl];
+        ++sharers;
+    }
+}
+
+bool
+HierarchicalVectorRep::remove(CacheId cache)
+{
+    assert(cache < numCaches);
+    const std::size_t cl = cluster(cache);
+    const std::size_t within = cache % cachesPerCluster;
+    if (root.test(cl) && leaves[cl].test(within)) {
+        leaves[cl].reset(within);
+        --leafCounts[cl];
+        --sharers;
+        if (leafCounts[cl] == 0) {
+            root.reset(cl);
+            leaves[cl] = DynamicBitset(); // deallocate the sub-vector
+        }
+    }
+    return sharers == 0;
+}
+
+bool
+HierarchicalVectorRep::mightContain(CacheId cache) const
+{
+    if (cache >= numCaches)
+        return false;
+    const std::size_t cl = cluster(cache);
+    return root.test(cl) && leaves[cl].test(cache % cachesPerCluster);
+}
+
+void
+HierarchicalVectorRep::invalidationTargets(DynamicBitset &out) const
+{
+    out = DynamicBitset(numCaches);
+    for (std::size_t cl = root.findFirst(); cl < root.size();
+         cl = root.findNext(cl)) {
+        const auto &leaf = leaves[cl];
+        for (std::size_t w = leaf.findFirst(); w < leaf.size();
+             w = leaf.findNext(w)) {
+            const std::size_t cache = cl * cachesPerCluster + w;
+            if (cache < numCaches)
+                out.set(cache);
+        }
+    }
+}
+
+unsigned
+HierarchicalVectorRep::storageBits() const
+{
+    // Root vector plus currently allocated sub-vectors. The *static*
+    // provisioning cost (how many sub-vector slots a hardware directory
+    // reserves) is charged by the analytical model; behaviourally we
+    // report the live footprint.
+    return static_cast<unsigned>(numClusters +
+                                 allocatedLeaves() * cachesPerCluster);
+}
+
+void
+HierarchicalVectorRep::clear()
+{
+    root.clear();
+    for (auto &leaf : leaves)
+        leaf = DynamicBitset();
+    leafCounts.assign(numClusters, 0);
+    sharers = 0;
+}
+
+std::size_t
+HierarchicalVectorRep::allocatedLeaves() const
+{
+    return root.count();
+}
+
+} // namespace cdir

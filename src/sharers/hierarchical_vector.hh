@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hierarchical two-level sharer representation.
+ *
+ * Models the paper's "Sparse Hierarchical" entry format [44,45]: a root
+ * bit vector with one bit per *cluster* of caches, plus second-level
+ * sub-vectors — one bit per cache within a cluster — allocated only for
+ * clusters that actually contain sharers. The representation is precise;
+ * its benefit is storage (and the cost of tag replication plus a second
+ * serialized lookup, which the analytical model charges in src/model).
+ *
+ * The cluster size defaults to ceil(sqrt(N)), the square-root split that
+ * minimizes root + single-leaf storage.
+ */
+
+#ifndef CDIR_SHARERS_HIERARCHICAL_VECTOR_HH
+#define CDIR_SHARERS_HIERARCHICAL_VECTOR_HH
+
+#include <vector>
+
+#include "sharers/sharer_rep.hh"
+
+namespace cdir {
+
+/** Two-level hierarchical bit-vector representation. */
+class HierarchicalVectorRep : public SharerRep
+{
+  public:
+    /**
+     * @param num_caches   number of private caches tracked.
+     * @param cluster_size caches per second-level vector; 0 selects
+     *                     ceil(sqrt(num_caches)).
+     */
+    explicit HierarchicalVectorRep(std::size_t num_caches,
+                                   std::size_t cluster_size = 0);
+
+    void add(CacheId cache) override;
+    bool remove(CacheId cache) override;
+    bool mightContain(CacheId cache) const override;
+    void invalidationTargets(DynamicBitset &out) const override;
+    std::size_t count() const override { return sharers; }
+    bool precise() const override { return true; }
+    unsigned storageBits() const override;
+    void clear() override;
+
+    /** Number of second-level vectors currently allocated. */
+    std::size_t allocatedLeaves() const;
+
+    /** Caches per cluster. */
+    std::size_t clusterSize() const { return cachesPerCluster; }
+
+  private:
+    std::size_t cluster(CacheId cache) const
+    {
+        return cache / cachesPerCluster;
+    }
+
+    std::size_t numCaches;
+    std::size_t cachesPerCluster;
+    std::size_t numClusters;
+
+    DynamicBitset root;                    //!< one bit per cluster
+    std::vector<DynamicBitset> leaves;     //!< per-cluster sub-vectors
+    std::vector<std::size_t> leafCounts;   //!< sharers per cluster
+    std::size_t sharers = 0;
+};
+
+} // namespace cdir
+
+#endif // CDIR_SHARERS_HIERARCHICAL_VECTOR_HH

@@ -1,0 +1,46 @@
+#include "sharers/sharer_rep.hh"
+
+#include <cmath>
+
+#include "common/bit_util.hh"
+#include "sharers/coarse_vector.hh"
+#include "sharers/full_vector.hh"
+#include "sharers/hierarchical_vector.hh"
+
+namespace cdir {
+
+std::unique_ptr<SharerRep>
+makeSharerRep(SharerFormat format, std::size_t num_caches)
+{
+    switch (format) {
+      case SharerFormat::FullVector:
+        return std::make_unique<FullVectorRep>(num_caches);
+      case SharerFormat::CoarseVector:
+        return std::make_unique<CoarseVectorRep>(num_caches);
+      case SharerFormat::Hierarchical:
+        return std::make_unique<HierarchicalVectorRep>(num_caches);
+    }
+    return nullptr;
+}
+
+unsigned
+sharerStorageBits(SharerFormat format, std::size_t num_caches)
+{
+    switch (format) {
+      case SharerFormat::FullVector:
+        return static_cast<unsigned>(num_caches);
+      case SharerFormat::CoarseVector:
+        return 2 * bitsToName(num_caches);
+      case SharerFormat::Hierarchical: {
+        // Primary-entry cost: root vector sized one bit per cluster of
+        // ~sqrt(N) caches (second-level entries live at secondary
+        // locations and are charged separately by the model).
+        const auto cluster = static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(num_caches))));
+        return static_cast<unsigned>((num_caches + cluster - 1) / cluster);
+      }
+    }
+    return 0;
+}
+
+} // namespace cdir

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sharer-set representations stored inside directory entries.
+ *
+ * The paper composes the Cuckoo *organization* with existing entry
+ * formats (§6: "the Cuckoo organization dictates only the organization of
+ * the directory itself, not the contents of each entry"): full bit
+ * vectors [9], coarse/limited-pointer vectors [17,24], and hierarchical
+ * two-level vectors [44,45]. Each representation here is behavioural —
+ * it answers "which caches must be invalidated" — and self-describing —
+ * it reports the storage bits the analytical model charges for it.
+ *
+ * Imprecise representations (coarse) may return a superset of the true
+ * sharers; the extra invalidations they cause are visible to the
+ * simulator. All representations additionally maintain an exact sharer
+ * count, mirroring hardware that frees an entry when the last sharer
+ * evicts its block (§5.2); real coarse designs either keep such a count
+ * or tolerate stale entries, and the paper's occupancy accounting assumes
+ * the count exists.
+ */
+
+#ifndef CDIR_SHARERS_SHARER_REP_HH
+#define CDIR_SHARERS_SHARER_REP_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bitset.hh"
+#include "common/types.hh"
+
+namespace cdir {
+
+/** Abstract sharer-set representation (see file comment). */
+class SharerRep
+{
+  public:
+    virtual ~SharerRep() = default;
+
+    /** Record that cache @p cache holds the block. */
+    virtual void add(CacheId cache) = 0;
+
+    /**
+     * Record that cache @p cache evicted the block.
+     * @return true iff the entry is now empty (last sharer left).
+     */
+    virtual bool remove(CacheId cache) = 0;
+
+    /** May cache @p cache hold the block? (never a false negative). */
+    virtual bool mightContain(CacheId cache) const = 0;
+
+    /**
+     * Caches that must receive an invalidation: a superset of the true
+     * sharers for imprecise representations.
+     * @param out bitset sized to the number of caches; overwritten.
+     */
+    virtual void invalidationTargets(DynamicBitset &out) const = 0;
+
+    /** Exact number of sharers (bookkeeping; see file comment). */
+    virtual std::size_t count() const = 0;
+
+    /** True iff invalidationTargets() is always exact. */
+    virtual bool precise() const = 0;
+
+    /** Storage bits this representation occupies in one entry. */
+    virtual unsigned storageBits() const = 0;
+
+    /** Drop all sharers. */
+    virtual void clear() = 0;
+
+    /** True iff no sharers. */
+    bool empty() const { return count() == 0; }
+};
+
+/** Available representation formats. */
+enum class SharerFormat
+{
+    FullVector,    //!< one bit per cache (precise)
+    CoarseVector,  //!< 2*log2(N) bits: limited pointers, coarse fallback
+    Hierarchical,  //!< two-level bit vector (precise, cheaper storage)
+};
+
+/**
+ * Create a representation instance.
+ *
+ * @param format    which format to build.
+ * @param num_caches number of private caches tracked.
+ */
+std::unique_ptr<SharerRep> makeSharerRep(SharerFormat format,
+                                         std::size_t num_caches);
+
+/** Storage bits per entry for @p format over @p num_caches caches. */
+unsigned sharerStorageBits(SharerFormat format, std::size_t num_caches);
+
+} // namespace cdir
+
+#endif // CDIR_SHARERS_SHARER_REP_HH

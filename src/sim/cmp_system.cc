@@ -1,0 +1,241 @@
+#include "sim/cmp_system.hh"
+
+#include <cassert>
+
+#include "common/bit_util.hh"
+
+namespace cdir {
+
+CmpConfig
+CmpConfig::paperConfig(CmpConfigKind kind, std::size_t cores)
+{
+    CmpConfig cfg;
+    cfg.kind = kind;
+    cfg.numCores = cores;
+    cfg.numSlices = cores; // one slice per tile (Fig. 2)
+    if (kind == CmpConfigKind::SharedL2) {
+        cfg.privateCache = CacheConfig{512, 2}; // 64KB 2-way L1 (Table 1)
+    } else {
+        cfg.privateCache = CacheConfig{1024, 16}; // 1MB 16-way L2
+    }
+    cfg.directory.numCaches = cfg.numCaches();
+    cfg.directory.trackedCacheAssoc = cfg.privateCache.assoc;
+    return cfg;
+}
+
+CmpSystem::CmpSystem(const CmpConfig &config) : cfg(config)
+{
+    assert(isPowerOfTwo(cfg.numSlices));
+    sliceMask = cfg.numSlices - 1;
+    sliceShift = floorLog2(cfg.numSlices);
+
+    const std::size_t n_caches = cfg.numCaches();
+    caches.reserve(n_caches);
+    for (std::size_t i = 0; i < n_caches; ++i)
+        caches.push_back(std::make_unique<SetAssocCache>(cfg.privateCache));
+
+    DirectoryParams dir = cfg.directory;
+    dir.numCaches = n_caches;
+    dir.trackedCacheAssoc = cfg.privateCache.assoc;
+    if (dir.kind == DirectoryKind::DuplicateTag ||
+        dir.kind == DirectoryKind::Tagless) {
+        // These organizations mirror the tracked caches' sets; a slice
+        // covers cacheSets / numSlices of them (Fig. 3).
+        assert(cfg.privateCache.numSets >= cfg.numSlices);
+        dir.sets = cfg.privateCache.numSets / cfg.numSlices;
+    }
+    slices.reserve(cfg.numSlices);
+    for (std::size_t s = 0; s < cfg.numSlices; ++s) {
+        dir.hashSeed = cfg.directory.hashSeed + s;
+        slices.push_back(makeDirectory(dir));
+    }
+}
+
+CacheId
+CmpSystem::cacheIdFor(CoreId core, bool instruction) const
+{
+    if (cfg.kind == CmpConfigKind::SharedL2) {
+        // Even ids: I-caches; odd ids: D-caches.
+        return static_cast<CacheId>(core * 2 + (instruction ? 0 : 1));
+    }
+    return core;
+}
+
+void
+CmpSystem::access(const MemAccess &mem)
+{
+    assert(mem.core < cfg.numCores);
+    const CacheId cache_id = cacheIdFor(mem.core, mem.instruction);
+    SetAssocCache &priv = *caches[cache_id];
+    const std::size_t home = sliceOf(mem.addr);
+    const Tag tag = tagOf(mem.addr);
+
+    ++counters.accesses;
+    const CacheAccessResult res = priv.access(mem.addr, mem.write);
+
+    if (res.hit) {
+        ++counters.cacheHits;
+        if (res.writeHitClean) {
+            // MSI upgrade: the block may be shared elsewhere; the home
+            // directory invalidates the other copies.
+            ++counters.writeUpgrades;
+            DirAccessResult dres =
+                slices[home]->access(tag, cache_id, true);
+            handleDirectoryResult(dres, mem.addr, home, cache_id);
+        }
+        return;
+    }
+
+    ++counters.cacheMisses;
+
+    // The cache's eviction reaches the directory first (it is what keeps
+    // Duplicate-Tag slices exactly mirroring the caches).
+    if (res.victim) {
+        ++counters.cacheEvictions;
+        const BlockAddr victim = *res.victim;
+        slices[sliceOf(victim)]->removeSharer(tagOf(victim), cache_id);
+    }
+
+    DirAccessResult dres = slices[home]->access(tag, cache_id, mem.write);
+    handleDirectoryResult(dres, mem.addr, home, cache_id);
+}
+
+void
+CmpSystem::handleDirectoryResult(const DirAccessResult &result,
+                                 BlockAddr addr, std::size_t slice,
+                                 CacheId requester)
+{
+    // Writes invalidate the other sharers' cached copies. The directory
+    // already updated its own sharer state; caches are invalidated
+    // silently (no removeSharer echo).
+    if (result.hadSharerInvalidations) {
+        const DynamicBitset &targets = result.sharerInvalidations;
+        for (std::size_t c = targets.findFirst(); c < targets.size();
+             c = targets.findNext(c)) {
+            if (c == requester)
+                continue;
+            if (caches[c]->invalidate(addr))
+                ++counters.sharingInvalidations;
+        }
+    }
+
+    // Forced evictions (set conflicts / Cuckoo give-up): the evicted
+    // entries' blocks must leave the private caches to keep the
+    // directory precise (§3.2).
+    for (const EvictedEntry &evicted : result.forcedEvictions) {
+        const BlockAddr block = addrOf(evicted.tag, slice);
+        for (std::size_t c = evicted.targets.findFirst();
+             c < evicted.targets.size();
+             c = evicted.targets.findNext(c)) {
+            if (caches[c]->invalidate(block))
+                ++counters.forcedInvalidations;
+        }
+    }
+}
+
+void
+CmpSystem::run(SyntheticWorkload &workload, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        access(workload.next());
+}
+
+void
+CmpSystem::run(SyntheticWorkload &workload, std::uint64_t count,
+               std::uint64_t sample_every)
+{
+    assert(sample_every > 0);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        access(workload.next());
+        if ((i + 1) % sample_every == 0)
+            sampleOccupancy();
+    }
+}
+
+std::uint64_t
+CmpSystem::run(AccessSource &source, std::uint64_t count,
+               std::uint64_t sample_every)
+{
+    std::uint64_t executed = 0;
+    while (executed < count && !source.exhausted()) {
+        access(source.next());
+        ++executed;
+        if (sample_every != 0 && executed % sample_every == 0)
+            sampleOccupancy();
+    }
+    return executed;
+}
+
+void
+CmpSystem::sampleOccupancy()
+{
+    counters.directoryOccupancy.add(currentOccupancy());
+}
+
+double
+CmpSystem::currentOccupancy() const
+{
+    std::size_t valid = 0, total = 0;
+    for (const auto &s : slices) {
+        valid += s->validEntries();
+        total += s->capacity();
+    }
+    return total == 0 ? 0.0 : double(valid) / double(total);
+}
+
+DirectoryStats
+CmpSystem::aggregateDirectoryStats() const
+{
+    DirectoryStats agg;
+    for (const auto &s : slices) {
+        const DirectoryStats &d = s->stats();
+        agg.lookups += d.lookups;
+        agg.hits += d.hits;
+        agg.insertions += d.insertions;
+        agg.sharerAdds += d.sharerAdds;
+        agg.writeUpgrades += d.writeUpgrades;
+        agg.sharerRemovals += d.sharerRemovals;
+        agg.entryFrees += d.entryFrees;
+        agg.forcedEvictions += d.forcedEvictions;
+        agg.forcedBlockInvalidations += d.forcedBlockInvalidations;
+        agg.insertFailures += d.insertFailures;
+        agg.attemptHistogram.merge(d.attemptHistogram);
+        agg.insertionAttempts.addWeighted(d.insertionAttempts.mean(),
+                                          d.insertionAttempts.count());
+    }
+    return agg;
+}
+
+Histogram
+CmpSystem::aggregateAttemptHistogram() const
+{
+    Histogram merged(32);
+    for (const auto &s : slices)
+        merged.merge(s->stats().attemptHistogram);
+    return merged;
+}
+
+void
+CmpSystem::resetStats()
+{
+    counters = CmpStats{};
+    for (auto &s : slices)
+        s->resetStats();
+}
+
+bool
+CmpSystem::directoryCoversCaches() const
+{
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+        for (BlockAddr addr : caches[c]->residentAddresses()) {
+            DynamicBitset sharers;
+            if (!slices[sliceOf(addr)]->probe(tagOf(addr), &sharers))
+                return false;
+            if (c < sharers.size() && !sharers.test(c))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cdir

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Trace-driven CMP model: private caches + address-interleaved coherence
+ * directory slices (Fig. 2).
+ *
+ * Two configurations from §2/§5 are supported:
+ *
+ *  - **Shared-L2**: each core has split I/D L1s; the directory tracks L1
+ *    contents. The shared L2 itself needs no coherence (it is
+ *    address-interleaved) and is not modelled — only the L1s determine
+ *    directory behaviour.
+ *  - **Private-L2**: each core has a private unified L2 (the L1s are
+ *    included in it); the directory tracks L2 contents.
+ *
+ * The model is untimed: the paper's directory metrics (occupancy,
+ * insertion attempts, forced invalidations) are functions of the
+ * per-cache resident block sets over time, not of latencies. Coherence
+ * follows an MSI-style discipline: a write to a block that is not
+ * Modified consults the home directory, which invalidates the other
+ * sharers; a directory-forced eviction invalidates every tracked copy.
+ *
+ * Address interleaving: slice = blockAddr mod numSlices; slices operate
+ * on slice-local tags (blockAddr / numSlices), so a Duplicate-Tag
+ * slice's low tag bits reproduce the private-cache set index (Fig. 3).
+ */
+
+#ifndef CDIR_SIM_CMP_SYSTEM_HH
+#define CDIR_SIM_CMP_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "directory/directory.hh"
+#include "workload/trace.hh"
+#include "workload/workload.hh"
+
+namespace cdir {
+
+/** Which §2 cache organization is simulated. */
+enum class CmpConfigKind
+{
+    SharedL2,  //!< directory tracks split I/D private L1s
+    PrivateL2, //!< directory tracks private unified L2s
+};
+
+/** Full system configuration (defaults follow Table 1, 16 cores). */
+struct CmpConfig
+{
+    CmpConfigKind kind = CmpConfigKind::SharedL2;
+    std::size_t numCores = 16;
+    std::size_t numSlices = 16;
+
+    /** Geometry of each tracked private cache. */
+    CacheConfig privateCache{512, 2}; //!< 64KB, 2-way, 64B blocks
+
+    /** Per-slice directory organization. */
+    DirectoryParams directory;
+
+    /** Caches per core: 2 (I+D) for SharedL2, 1 for PrivateL2. */
+    unsigned
+    cachesPerCore() const
+    {
+        return kind == CmpConfigKind::SharedL2 ? 2u : 1u;
+    }
+
+    /** Total private caches the directory names. */
+    std::size_t numCaches() const { return numCores * cachesPerCore(); }
+
+    /** Aggregate tracked cache frames (the 1x provisioning baseline). */
+    std::size_t
+    aggregateFrames() const
+    {
+        return numCaches() * privateCache.capacityBlocks();
+    }
+
+    /** Table 1 configuration for @p kind at @p cores cores. */
+    static CmpConfig paperConfig(CmpConfigKind kind,
+                                 std::size_t cores = 16);
+};
+
+/** System-level counters accumulated by CmpSystem. */
+struct CmpStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t writeUpgrades = 0;        //!< write hits on clean blocks
+    std::uint64_t cacheEvictions = 0;
+    std::uint64_t sharingInvalidations = 0; //!< blocks killed by writes
+    std::uint64_t forcedInvalidations = 0;  //!< blocks killed by conflicts
+    RunningMean directoryOccupancy;         //!< sampled (Fig. 8)
+};
+
+/** The simulated CMP (see file comment). */
+class CmpSystem
+{
+  public:
+    explicit CmpSystem(const CmpConfig &config);
+
+    /** Drive one memory reference through the system. */
+    void access(const MemAccess &access);
+
+    /** Run @p count accesses from @p workload. */
+    void run(SyntheticWorkload &workload, std::uint64_t count);
+
+    /**
+     * Run @p count accesses, sampling directory occupancy every
+     * @p sample_every accesses into stats().directoryOccupancy.
+     */
+    void run(SyntheticWorkload &workload, std::uint64_t count,
+             std::uint64_t sample_every);
+
+    /**
+     * Drive from any AccessSource (e.g. a TraceReader) until @p count
+     * accesses have run or the source is exhausted.
+     * @return accesses actually executed.
+     */
+    std::uint64_t run(AccessSource &source, std::uint64_t count,
+                      std::uint64_t sample_every = 0);
+
+    /** Sample aggregate directory occupancy once. */
+    void sampleOccupancy();
+
+    /** Aggregate occupancy over all slices right now. */
+    double currentOccupancy() const;
+
+    /** Sum of per-slice directory statistics. */
+    DirectoryStats aggregateDirectoryStats() const;
+
+    /** Merged attempt histogram across slices (Fig. 11). */
+    Histogram aggregateAttemptHistogram() const;
+
+    /** System counters. */
+    const CmpStats &stats() const { return counters; }
+
+    /** Reset system and per-slice statistics (state is kept). */
+    void resetStats();
+
+    /** Access to a slice (tests / diagnostics). */
+    Directory &slice(std::size_t i) { return *slices[i]; }
+    const Directory &slice(std::size_t i) const { return *slices[i]; }
+    std::size_t numSlices() const { return slices.size(); }
+
+    /** Access to a private cache (tests / diagnostics). */
+    SetAssocCache &cache(std::size_t i) { return *caches[i]; }
+    std::size_t numCaches() const { return caches.size(); }
+
+    /** The configuration in force. */
+    const CmpConfig &config() const { return cfg; }
+
+    /**
+     * Invariant check (tests): every resident private-cache block is
+     * tracked by its home slice.
+     * @return true iff the directory covers all cached blocks.
+     */
+    bool directoryCoversCaches() const;
+
+  private:
+    CacheId cacheIdFor(CoreId core, bool instruction) const;
+    std::size_t sliceOf(BlockAddr addr) const
+    {
+        return static_cast<std::size_t>(addr) & sliceMask;
+    }
+    Tag tagOf(BlockAddr addr) const { return addr >> sliceShift; }
+    BlockAddr addrOf(Tag tag, std::size_t slice) const
+    {
+        return (tag << sliceShift) | slice;
+    }
+
+    void handleDirectoryResult(const DirAccessResult &result,
+                               BlockAddr addr, std::size_t slice,
+                               CacheId requester);
+
+    CmpConfig cfg;
+    std::size_t sliceMask;
+    unsigned sliceShift;
+    std::vector<std::unique_ptr<SetAssocCache>> caches;
+    std::vector<std::unique_ptr<Directory>> slices;
+    CmpStats counters;
+};
+
+} // namespace cdir
+
+#endif // CDIR_SIM_CMP_SYSTEM_HH

@@ -1,0 +1,79 @@
+#include "sim/experiment.hh"
+
+namespace cdir {
+
+ExperimentResult
+runExperiment(const CmpConfig &config, const WorkloadParams &workload,
+              const ExperimentOptions &options)
+{
+    CmpSystem system(config);
+    SyntheticWorkload gen(workload);
+
+    system.run(gen, options.warmupAccesses);
+    system.resetStats();
+    system.run(gen, options.measureAccesses, options.occupancySampleEvery);
+
+    ExperimentResult result;
+    result.workload = workload.name;
+    result.organization = system.slice(0).name();
+    result.directory = system.aggregateDirectoryStats();
+    result.system = system.stats();
+    result.attemptHistogram = system.aggregateAttemptHistogram();
+    for (std::size_t s = 0; s < system.numSlices(); ++s)
+        result.directoryCapacity += system.slice(s).capacity();
+    result.avgInsertionAttempts =
+        result.directory.insertionAttempts.mean();
+    result.forcedInvalidationRate =
+        result.directory.forcedInvalidationRate();
+    result.avgOccupancy = system.stats().directoryOccupancy.mean();
+    return result;
+}
+
+DirectoryParams
+cuckooSliceParams(unsigned ways, std::size_t sets_per_way,
+                  SharerFormat format, HashKind hash)
+{
+    DirectoryParams p;
+    p.kind = DirectoryKind::Cuckoo;
+    p.ways = ways;
+    p.sets = sets_per_way;
+    p.format = format;
+    p.hash = hash;
+    return p;
+}
+
+DirectoryParams
+sparseSliceParams(unsigned ways, std::size_t sets_per_way,
+                  SharerFormat format)
+{
+    DirectoryParams p;
+    p.kind = DirectoryKind::Sparse;
+    p.ways = ways;
+    p.sets = sets_per_way;
+    p.format = format;
+    p.hash = HashKind::Modulo;
+    return p;
+}
+
+DirectoryParams
+skewedSliceParams(unsigned ways, std::size_t sets_per_way,
+                  SharerFormat format)
+{
+    DirectoryParams p;
+    p.kind = DirectoryKind::Skewed;
+    p.ways = ways;
+    p.sets = sets_per_way;
+    p.format = format;
+    p.hash = HashKind::Skewing;
+    return p;
+}
+
+double
+provisioningFactor(const CmpConfig &config, const DirectoryParams &dir)
+{
+    const double frames_per_slice =
+        double(config.aggregateFrames()) / double(config.numSlices);
+    return double(dir.totalEntries()) / frames_per_slice;
+}
+
+} // namespace cdir

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment driver: runs one (configuration, workload) pair through the
+ * CMP model with the paper's warmup-then-measure methodology (§5) and
+ * returns the per-figure metrics.
+ */
+
+#ifndef CDIR_SIM_EXPERIMENT_HH
+#define CDIR_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cmp_system.hh"
+
+namespace cdir {
+
+/** Metrics the Fig. 8-12 harnesses consume. */
+struct ExperimentResult
+{
+    std::string workload;
+    std::string organization;
+    /** Attempts per new-entry insertion (Figs. 9, 10). */
+    double avgInsertionAttempts = 0.0;
+    /** Forced evictions per insertion (Figs. 9, 12). */
+    double forcedInvalidationRate = 0.0;
+    /** Sampled aggregate directory occupancy (Fig. 8). */
+    double avgOccupancy = 0.0;
+    /** Insertion-attempt distribution (Fig. 11). */
+    Histogram attemptHistogram{32};
+    /** Aggregate directory capacity across slices, in entries. */
+    std::size_t directoryCapacity = 0;
+    /** Full directory counters. */
+    DirectoryStats directory;
+    /** Full system counters. */
+    CmpStats system;
+};
+
+/** Knobs for experiment length (defaults keep full runs under minutes). */
+struct ExperimentOptions
+{
+    std::uint64_t warmupAccesses = 2'000'000;
+    std::uint64_t measureAccesses = 2'000'000;
+    std::uint64_t occupancySampleEvery = 10'000;
+};
+
+/**
+ * Run one experiment: construct the system, warm it (statistics
+ * discarded), then measure.
+ */
+ExperimentResult runExperiment(const CmpConfig &config,
+                               const WorkloadParams &workload,
+                               const ExperimentOptions &options = {});
+
+/**
+ * Directory parameters for a Cuckoo slice sized as the paper writes it,
+ * e.g. "4 x 512": @p ways ways of @p sets_per_way sets per slice.
+ */
+DirectoryParams cuckooSliceParams(unsigned ways, std::size_t sets_per_way,
+                                  SharerFormat format =
+                                      SharerFormat::FullVector,
+                                  HashKind hash = HashKind::Skewing);
+
+/** Sparse slice parameters ("8-way, over-provisioning x"). */
+DirectoryParams sparseSliceParams(unsigned ways, std::size_t sets_per_way,
+                                  SharerFormat format =
+                                      SharerFormat::FullVector);
+
+/** Skewed-associative slice parameters. */
+DirectoryParams skewedSliceParams(unsigned ways, std::size_t sets_per_way,
+                                  SharerFormat format =
+                                      SharerFormat::FullVector);
+
+/**
+ * Provisioning factor of a slice: capacity relative to the worst-case
+ * number of blocks the slice must track (tracked cache frames that map
+ * to it), as annotated in Fig. 9 ("1x", "2x", "3/4x", ...).
+ */
+double provisioningFactor(const CmpConfig &config,
+                          const DirectoryParams &dir);
+
+} // namespace cdir
+
+#endif // CDIR_SIM_EXPERIMENT_HH

@@ -1,0 +1,106 @@
+#include "workload/trace.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdir {
+
+bool
+parseTraceLine(const std::string &line, MemAccess &access)
+{
+    std::size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos || line[begin] == '#')
+        return false;
+
+    std::istringstream is(line);
+    std::uint64_t core = 0;
+    std::string addr_text, kind;
+    if (!(is >> core >> addr_text >> kind))
+        return false;
+    if (kind.size() != 1 ||
+        (kind[0] != 'r' && kind[0] != 'w' && kind[0] != 'i'))
+        return false;
+
+    char *end = nullptr;
+    const BlockAddr addr = std::strtoull(addr_text.c_str(), &end, 16);
+    if (end == addr_text.c_str() || *end != '\0')
+        return false;
+
+    access.core = static_cast<CoreId>(core);
+    access.addr = addr;
+    access.write = kind[0] == 'w';
+    access.instruction = kind[0] == 'i';
+    return true;
+}
+
+std::string
+formatTraceLine(const MemAccess &access)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%u %llx %c", access.core,
+                  static_cast<unsigned long long>(access.addr),
+                  access.instruction ? 'i' : (access.write ? 'w' : 'r'));
+    return buf;
+}
+
+TraceReader::TraceReader(const std::string &path) : in(path)
+{
+    if (!in.is_open())
+        throw std::runtime_error("cannot open trace: " + path);
+    fill();
+}
+
+void
+TraceReader::fill()
+{
+    hasBuffered = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t begin = line.find_first_not_of(" \t");
+        const bool skippable =
+            begin == std::string::npos || line[begin] == '#';
+        if (parseTraceLine(line, buffered)) {
+            hasBuffered = true;
+            return;
+        }
+        if (!skippable)
+            ++malformed;
+    }
+}
+
+MemAccess
+TraceReader::next()
+{
+    if (!hasBuffered)
+        throw std::runtime_error("trace exhausted");
+    const MemAccess result = buffered;
+    ++count;
+    fill();
+    return result;
+}
+
+TraceWriter::TraceWriter(const std::string &path) : out(path)
+{
+    if (!out.is_open())
+        throw std::runtime_error("cannot create trace: " + path);
+    out << "# cuckoo-directory trace v1: <core> <block-addr-hex> <r|w|i>\n";
+}
+
+void
+TraceWriter::write(const MemAccess &access)
+{
+    out << formatTraceLine(access) << '\n';
+    ++count;
+}
+
+void
+TraceWriter::close()
+{
+    if (out.is_open()) {
+        out.flush();
+        out.close();
+    }
+}
+
+} // namespace cdir

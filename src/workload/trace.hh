@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Memory-trace file I/O.
+ *
+ * The paper drives its directories from FLEXUS full-system traces; this
+ * reproduction uses synthetic generators by default but accepts
+ * external traces in a simple text format, one access per line:
+ *
+ *     <core> <block-address-hex> <r|w|i>
+ *
+ * ('i' marks instruction fetches, which route to the I-cache in the
+ * Shared-L2 configuration.) Lines starting with '#' are comments.
+ * Converters from gem5/champsim traces reduce to emitting this format.
+ */
+
+#ifndef CDIR_WORKLOAD_TRACE_HH
+#define CDIR_WORKLOAD_TRACE_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace cdir {
+
+/** Anything that yields MemAccess records. */
+class AccessSource
+{
+  public:
+    virtual ~AccessSource() = default;
+
+    /** Produce the next access; only valid while !exhausted(). */
+    virtual MemAccess next() = 0;
+
+    /** True when no further accesses are available. */
+    virtual bool exhausted() const = 0;
+};
+
+/** Adapter: a SyntheticWorkload as an endless AccessSource. */
+class SyntheticSource : public AccessSource
+{
+  public:
+    explicit SyntheticSource(const WorkloadParams &params)
+        : workload(params)
+    {}
+
+    MemAccess next() override { return workload.next(); }
+    bool exhausted() const override { return false; }
+
+    /** Underlying generator. */
+    SyntheticWorkload &generator() { return workload; }
+
+  private:
+    SyntheticWorkload workload;
+};
+
+/** Streaming reader for the text trace format (see file comment). */
+class TraceReader : public AccessSource
+{
+  public:
+    /** Open @p path; throws std::runtime_error if unreadable. */
+    explicit TraceReader(const std::string &path);
+
+    MemAccess next() override;
+    bool exhausted() const override { return !hasBuffered; }
+
+    /** Records delivered so far. */
+    std::uint64_t recordsRead() const { return count; }
+
+    /** Lines skipped because they were malformed. */
+    std::uint64_t malformedLines() const { return malformed; }
+
+  private:
+    void fill();
+
+    std::ifstream in;
+    MemAccess buffered{};
+    bool hasBuffered = false;
+    std::uint64_t count = 0;
+    std::uint64_t malformed = 0;
+};
+
+/** Writer for the text trace format. */
+class TraceWriter
+{
+  public:
+    /** Create/truncate @p path; throws std::runtime_error on failure. */
+    explicit TraceWriter(const std::string &path);
+
+    /** Append one record. */
+    void write(const MemAccess &access);
+
+    /** Flush and close (also done by the destructor). */
+    void close();
+
+    /** Records written so far. */
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    std::ofstream out;
+    std::uint64_t count = 0;
+};
+
+/**
+ * Parse one trace line into @p access.
+ * @return false if the line is a comment, blank, or malformed.
+ */
+bool parseTraceLine(const std::string &line, MemAccess &access);
+
+/** Format one record as a trace line (no newline). */
+std::string formatTraceLine(const MemAccess &access);
+
+} // namespace cdir
+
+#endif // CDIR_WORKLOAD_TRACE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Zipf-distributed rank sampler.
+ *
+ * Server workloads touch their footprints with strong popularity skew
+ * (hot database pages, hot code paths); scientific sweeps are close to
+ * uniform. The synthetic workload generator draws block ranks from a
+ * Zipf(theta) distribution: P(rank k) proportional to 1/k^theta, theta=0
+ * degenerating to uniform.
+ */
+
+#ifndef CDIR_WORKLOAD_ZIPF_HH
+#define CDIR_WORKLOAD_ZIPF_HH
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace cdir {
+
+/** Inverse-CDF Zipf sampler over ranks [0, n). */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     number of ranks.
+     * @param theta skew; 0 = uniform, ~1 = classic Zipf.
+     */
+    ZipfSampler(std::size_t n, double theta) : items(n), skew(theta)
+    {
+        assert(n >= 1);
+        if (skew <= 0.0)
+            return; // uniform fast path
+        cdf.reserve(n);
+        double total = 0.0;
+        for (std::size_t k = 1; k <= n; ++k) {
+            total += 1.0 / std::pow(static_cast<double>(k), skew);
+            cdf.push_back(total);
+        }
+        for (auto &v : cdf)
+            v /= total;
+    }
+
+    /** Draw one rank using @p rng. */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        if (skew <= 0.0)
+            return static_cast<std::size_t>(rng.below(items));
+        const double u = rng.uniform();
+        // Binary search the CDF for the first bucket >= u.
+        std::size_t lo = 0, hi = cdf.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /** Number of ranks. */
+    std::size_t size() const { return items; }
+
+    /** Configured skew. */
+    double theta() const { return skew; }
+
+  private:
+    std::size_t items;
+    double skew;
+    std::vector<double> cdf;
+};
+
+} // namespace cdir
+
+#endif // CDIR_WORKLOAD_ZIPF_HH

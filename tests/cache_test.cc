@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+
+namespace cdir {
+namespace {
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache cache(CacheConfig{16, 2});
+    auto first = cache.access(100, false);
+    EXPECT_FALSE(first.hit);
+    EXPECT_FALSE(first.victim.has_value());
+    auto second = cache.access(100, false);
+    EXPECT_TRUE(second.hit);
+    EXPECT_TRUE(cache.contains(100));
+}
+
+TEST(Cache, WriteSetsDirty)
+{
+    SetAssocCache cache(CacheConfig{16, 2});
+    cache.access(5, true);
+    EXPECT_TRUE(cache.isDirty(5));
+}
+
+TEST(Cache, ReadAllocatesClean)
+{
+    SetAssocCache cache(CacheConfig{16, 2});
+    cache.access(5, false);
+    EXPECT_FALSE(cache.isDirty(5));
+}
+
+TEST(Cache, WriteHitOnCleanReportsUpgrade)
+{
+    SetAssocCache cache(CacheConfig{16, 2});
+    cache.access(5, false);
+    auto res = cache.access(5, true);
+    EXPECT_TRUE(res.hit);
+    EXPECT_TRUE(res.writeHitClean);
+    EXPECT_TRUE(cache.isDirty(5));
+    // Second write: already dirty, no upgrade.
+    auto res2 = cache.access(5, true);
+    EXPECT_FALSE(res2.writeHitClean);
+}
+
+TEST(Cache, EvictsLruWithinSet)
+{
+    SetAssocCache cache(CacheConfig{4, 2});
+    // Three blocks mapping to set 0 (multiples of numSets).
+    cache.access(0, false);
+    cache.access(4, false);
+    cache.access(0, false); // make block 0 MRU
+    auto res = cache.access(8, false);
+    EXPECT_FALSE(res.hit);
+    ASSERT_TRUE(res.victim.has_value());
+    EXPECT_EQ(*res.victim, 4u);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(4));
+}
+
+TEST(Cache, EvictionReportsDirtyVictim)
+{
+    SetAssocCache cache(CacheConfig{4, 1});
+    cache.access(0, true);
+    auto res = cache.access(4, false);
+    ASSERT_TRUE(res.victim.has_value());
+    EXPECT_EQ(*res.victim, 0u);
+    EXPECT_TRUE(res.victimDirty);
+}
+
+TEST(Cache, InvalidateRemovesBlock)
+{
+    SetAssocCache cache(CacheConfig{16, 2});
+    cache.access(7, true);
+    EXPECT_TRUE(cache.invalidate(7));
+    EXPECT_FALSE(cache.contains(7));
+    EXPECT_FALSE(cache.invalidate(7)); // second time: not resident
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+}
+
+TEST(Cache, CleanseDowngradesDirtyBlock)
+{
+    SetAssocCache cache(CacheConfig{16, 2});
+    cache.access(7, true);
+    cache.cleanse(7);
+    EXPECT_TRUE(cache.contains(7));
+    EXPECT_FALSE(cache.isDirty(7));
+}
+
+TEST(Cache, ResidentCountTracksContents)
+{
+    SetAssocCache cache(CacheConfig{8, 2});
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+    for (BlockAddr a = 0; a < 8; ++a)
+        cache.access(a, false);
+    EXPECT_EQ(cache.residentBlocks(), 8u);
+    cache.invalidate(3);
+    EXPECT_EQ(cache.residentBlocks(), 7u);
+}
+
+TEST(Cache, CapacityNeverExceeded)
+{
+    SetAssocCache cache(CacheConfig{8, 2});
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        cache.access(rng.below(1000), rng.chance(0.3));
+    EXPECT_LE(cache.residentBlocks(), cache.capacityBlocks());
+}
+
+TEST(Cache, ResidentAddressesMatchesContains)
+{
+    SetAssocCache cache(CacheConfig{8, 4});
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i)
+        cache.access(rng.below(200), false);
+    const auto resident = cache.residentAddresses();
+    EXPECT_EQ(resident.size(), cache.residentBlocks());
+    for (BlockAddr a : resident)
+        EXPECT_TRUE(cache.contains(a));
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    SetAssocCache cache(CacheConfig{4, 1});
+    cache.access(0, false); // set 0
+    cache.access(1, false); // set 1
+    cache.access(2, false); // set 2
+    cache.access(3, false); // set 3
+    EXPECT_EQ(cache.residentBlocks(), 4u);
+    // Filling set 0 does not disturb the others.
+    cache.access(4, false);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+}
+
+// Property sweep over geometries: an access pattern of exactly
+// `assoc` blocks per set never evicts.
+class CacheGeometry
+    : public testing::TestWithParam<std::tuple<std::size_t, unsigned>>
+{};
+
+TEST_P(CacheGeometry, FullSetResidesWithoutEviction)
+{
+    const auto [sets, assoc] = GetParam();
+    SetAssocCache cache(CacheConfig{sets, assoc});
+    for (unsigned w = 0; w < assoc; ++w) {
+        for (std::size_t s = 0; s < sets; ++s) {
+            auto res = cache.access(s + w * sets, false);
+            EXPECT_FALSE(res.victim.has_value());
+        }
+    }
+    EXPECT_EQ(cache.residentBlocks(), sets * assoc);
+    // Every block still hits.
+    for (unsigned w = 0; w < assoc; ++w)
+        for (std::size_t s = 0; s < sets; ++s)
+            EXPECT_TRUE(cache.access(s + w * sets, false).hit);
+}
+
+TEST_P(CacheGeometry, LruIsExactWithinSet)
+{
+    const auto [sets, assoc] = GetParam();
+    SetAssocCache cache(CacheConfig{sets, assoc});
+    // Touch assoc+1 blocks of set 0 in order; the first must be evicted.
+    for (unsigned w = 0; w <= assoc; ++w)
+        cache.access(BlockAddr{w} * sets, false);
+    EXPECT_FALSE(cache.contains(0));
+    for (unsigned w = 1; w <= assoc; ++w)
+        EXPECT_TRUE(cache.contains(BlockAddr{w} * sets));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    testing::Combine(testing::Values(std::size_t{1}, std::size_t{8},
+                                     std::size_t{64}, std::size_t{512}),
+                     testing::Values(1u, 2u, 4u, 16u)));
+
+TEST(CacheConfigStruct, CapacityIsSetsTimesWays)
+{
+    EXPECT_EQ((CacheConfig{512, 2}).capacityBlocks(), 1024u);
+    EXPECT_EQ((CacheConfig{1024, 16}).capacityBlocks(), 16384u);
+}
+
+} // namespace
+} // namespace cdir

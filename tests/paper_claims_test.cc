@@ -1,0 +1,227 @@
+/**
+ * @file
+ * End-to-end integration tests asserting the paper's evaluation claims
+ * at reduced scale, so `ctest` alone demonstrates the reproduction
+ * without running the full bench harnesses:
+ *
+ *  - §5.1 (Fig. 7): 3-ary+ tables are conflict-free to 65% occupancy;
+ *  - §5.2 (Figs. 8/9): Shared-L2 needs no over-provisioning, 1x Cuckoo
+ *    runs clean, under-provisioning blows up;
+ *  - §5.3 (Figs. 10/11): attempts < 2 on average, geometric tail;
+ *  - §5.4 (Fig. 12): organization ordering at paper sizings;
+ *  - §5.6 / Fig. 13: headline energy/area ratios.
+ *
+ * The reduced-scale CMP keeps every structural ratio of Table 1 (16
+ * cores, 16 slices, same provisioning factors) but shrinks the caches
+ * 8x so runs take milliseconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/directory_model.hh"
+#include "sim/experiment.hh"
+
+namespace cdir {
+namespace {
+
+/** Table 1 scaled down 8x (same core/slice counts and ratios). */
+CmpConfig
+scaledConfig(CmpConfigKind kind)
+{
+    CmpConfig cfg = CmpConfig::paperConfig(kind);
+    if (kind == CmpConfigKind::SharedL2)
+        cfg.privateCache = CacheConfig{64, 2}; // 8KB L1s
+    else
+        cfg.privateCache = CacheConfig{128, 16}; // 128KB L2s
+    return cfg;
+}
+
+/** Workload preset with footprints rescaled to the shrunken caches. */
+WorkloadParams
+scaledWorkload(PaperWorkload w, CmpConfigKind kind)
+{
+    WorkloadParams p =
+        paperWorkloadParams(w, kind == CmpConfigKind::PrivateL2);
+    p.codeBlocks = std::max<std::size_t>(p.codeBlocks / 8, 16);
+    p.sharedBlocks = std::max<std::size_t>(p.sharedBlocks / 8, 16);
+    p.privateBlocksPerCore =
+        std::max<std::size_t>(p.privateBlocksPerCore / 8, 16);
+    return p;
+}
+
+ExperimentResult
+runScaled(CmpConfigKind kind, PaperWorkload w, const DirectoryParams &dir)
+{
+    CmpConfig cfg = scaledConfig(kind);
+    cfg.directory = dir;
+    ExperimentOptions opts;
+    opts.warmupAccesses = 300'000;
+    opts.measureAccesses = 300'000;
+    opts.occupancySampleEvery = 5'000;
+    return runExperiment(cfg, scaledWorkload(w, kind), opts);
+}
+
+/** Paper sizings divided by 8 (provisioning factors preserved). */
+DirectoryParams
+scaledCuckoo(CmpConfigKind kind)
+{
+    return kind == CmpConfigKind::SharedL2 ? cuckooSliceParams(4, 64)
+                                           : cuckooSliceParams(3, 1024);
+}
+
+// --- §5.2: occupancy and provisioning -----------------------------------------
+
+TEST(PaperClaims, SharedL2OccupancyStaysBelowCapacityWithoutOverProvisioning)
+{
+    // Fig. 8: sharing keeps the 1x directory comfortably below full.
+    for (PaperWorkload w :
+         {PaperWorkload::OltpDb2, PaperWorkload::WebApache,
+          PaperWorkload::SciOcean}) {
+        const auto res = runScaled(CmpConfigKind::SharedL2, w,
+                                   scaledCuckoo(CmpConfigKind::SharedL2));
+        EXPECT_LT(res.avgOccupancy, 0.70) << paperWorkloadName(w);
+        EXPECT_GT(res.avgOccupancy, 0.20) << paperWorkloadName(w);
+    }
+}
+
+TEST(PaperClaims, OceanIsNearlyAllPrivateBlocksInPrivateL2)
+{
+    // Fig. 8: ocean approaches 100% of the worst-case tracked blocks.
+    const auto res = runScaled(CmpConfigKind::PrivateL2,
+                               PaperWorkload::SciOcean,
+                               scaledCuckoo(CmpConfigKind::PrivateL2));
+    const double normalized = res.avgOccupancy * 1.5; // 1.5x provisioning
+    EXPECT_GT(normalized, 0.90);
+}
+
+TEST(PaperClaims, SelectedSizingsRunWithoutForcedInvalidations)
+{
+    // Fig. 9/12: the selected 1x (Shared) and 1.5x (Private) Cuckoo
+    // directories experience (near-)zero forced invalidations.
+    for (CmpConfigKind kind :
+         {CmpConfigKind::SharedL2, CmpConfigKind::PrivateL2}) {
+        for (PaperWorkload w :
+             {PaperWorkload::OltpOracle, PaperWorkload::SciOcean}) {
+            const auto res = runScaled(kind, w, scaledCuckoo(kind));
+            EXPECT_LT(res.forcedInvalidationRate, 0.001)
+                << paperWorkloadName(w);
+        }
+    }
+}
+
+TEST(PaperClaims, UnderProvisioningExplodesAttemptsAndInvalidations)
+{
+    // Fig. 9: 3/8x capacity is catastrophically under-provisioned.
+    const auto good = runScaled(CmpConfigKind::SharedL2,
+                                PaperWorkload::OltpDb2,
+                                cuckooSliceParams(4, 64)); // 1x
+    const auto bad = runScaled(CmpConfigKind::SharedL2,
+                               PaperWorkload::OltpDb2,
+                               cuckooSliceParams(3, 32)); // 3/8x
+    EXPECT_GT(bad.avgInsertionAttempts, 4 * good.avgInsertionAttempts);
+    EXPECT_GT(bad.forcedInvalidationRate, 0.05);
+    EXPECT_LT(good.forcedInvalidationRate, 0.001);
+}
+
+// --- §5.3: insertion attempts ----------------------------------------------------
+
+TEST(PaperClaims, AverageAttemptsTypicallyUnderTwo)
+{
+    // Fig. 10.
+    for (CmpConfigKind kind :
+         {CmpConfigKind::SharedL2, CmpConfigKind::PrivateL2}) {
+        const auto res =
+            runScaled(kind, PaperWorkload::OltpOracle, scaledCuckoo(kind));
+        EXPECT_LT(res.avgInsertionAttempts, 2.0);
+        EXPECT_GE(res.avgInsertionAttempts, 1.0);
+    }
+}
+
+TEST(PaperClaims, AttemptTailDecaysGeometricallyNoPeakAt32)
+{
+    // Fig. 11: each additional attempt is less likely; no loop peak.
+    const auto res = runScaled(CmpConfigKind::PrivateL2,
+                               PaperWorkload::SciOcean,
+                               scaledCuckoo(CmpConfigKind::PrivateL2));
+    const Histogram &h = res.attemptHistogram;
+    ASSERT_GT(h.count(), 1000u);
+    EXPECT_GT(h.fraction(1), 0.5);
+    // Broad decay: mass in [2,4] > mass in [5,8] > mass in [9,16].
+    auto mass = [&](std::size_t lo, std::size_t hi) {
+        double m = 0;
+        for (std::size_t a = lo; a <= hi; ++a)
+            m += h.fraction(a);
+        return m;
+    };
+    EXPECT_GT(mass(2, 4), mass(5, 8));
+    EXPECT_GE(mass(5, 8), mass(9, 16));
+    EXPECT_LT(h.fraction(32), 0.001);
+}
+
+// --- §5.4: organization comparison ------------------------------------------------
+
+TEST(PaperClaims, Fig12OrderingOnServerWorkload)
+{
+    // Sparse 2x conflicts the most; Sparse 8x and Skewed 2x help; the
+    // Cuckoo directory with the least capacity is near zero.
+    const CmpConfigKind kind = CmpConfigKind::SharedL2;
+    const PaperWorkload w = PaperWorkload::OltpDb2;
+    const auto sparse2x = runScaled(kind, w, sparseSliceParams(8, 32));
+    const auto sparse8x = runScaled(kind, w, sparseSliceParams(8, 128));
+    const auto skewed2x = runScaled(kind, w, skewedSliceParams(4, 64));
+    const auto cuckoo1x = runScaled(kind, w, cuckooSliceParams(4, 64));
+
+    EXPECT_GT(sparse2x.forcedInvalidationRate,
+              sparse8x.forcedInvalidationRate);
+    EXPECT_GT(sparse2x.forcedInvalidationRate,
+              skewed2x.forcedInvalidationRate);
+    EXPECT_LE(cuckoo1x.forcedInvalidationRate,
+              skewed2x.forcedInvalidationRate);
+    EXPECT_LE(cuckoo1x.forcedInvalidationRate,
+              sparse8x.forcedInvalidationRate);
+    EXPECT_LT(cuckoo1x.forcedInvalidationRate, 0.0005);
+}
+
+// --- §5.6 / Fig. 13 headlines (analytical) ------------------------------------------
+
+TEST(PaperClaims, HeadlineRatiosAt1024Cores)
+{
+    DirSystemParams p;
+    p.numCores = 1024;
+    p.cachesPerCore = 2;
+    p.framesPerCache = 1024;
+    p.cacheAssoc = 2;
+    p.cuckooProvisioning = 1.0;
+    p.cuckooWays = 4;
+
+    const auto cuckoo = directoryCost(OrgModel::CuckooCoarse, p);
+    const auto tagless = directoryCost(OrgModel::Tagless, p);
+    const auto sparse = directoryCost(OrgModel::SparseCoarse, p);
+
+    // "up to 80x more power-efficient than the Tagless directory"
+    EXPECT_GT(tagless.energyPerOp / cuckoo.energyPerOp, 40.0);
+    // "more than 7x area-efficiency over the ... Sparse design"
+    EXPECT_GT(sparse.areaBitsPerCore / cuckoo.areaBitsPerCore, 7.0);
+    // "bringing the area ... under 3% of the L2 area"
+    EXPECT_LT(cuckoo.areaRelative, 0.03);
+}
+
+TEST(PaperClaims, CuckooEnergyAndAreaNearlyFlatTo1024Cores)
+{
+    auto at = [](std::size_t cores) {
+        DirSystemParams p;
+        p.numCores = cores;
+        p.cachesPerCore = 2;
+        p.framesPerCache = 1024;
+        p.cacheAssoc = 2;
+        p.cuckooProvisioning = 1.0;
+        p.cuckooWays = 4;
+        return directoryCost(OrgModel::CuckooCoarse, p);
+    };
+    const auto lo = at(16), hi = at(1024);
+    EXPECT_LT(hi.energyPerOp / lo.energyPerOp, 1.5);
+    EXPECT_LT(hi.areaBitsPerCore / lo.areaBitsPerCore, 1.5);
+}
+
+} // namespace
+} // namespace cdir

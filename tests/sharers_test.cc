@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Unit and property tests for the sharer-set representations: precise
+ * behaviour of the full vector, pointer/coarse transitions, hierarchical
+ * allocation, and the universal never-false-negative invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "sharers/coarse_vector.hh"
+#include "sharers/full_vector.hh"
+#include "sharers/hierarchical_vector.hh"
+#include "sharers/sharer_rep.hh"
+
+namespace cdir {
+namespace {
+
+// --- shared property suite ---------------------------------------------------
+
+struct RepCase
+{
+    SharerFormat format;
+    std::size_t caches;
+};
+
+std::string
+repName(const testing::TestParamInfo<RepCase> &info)
+{
+    const char *fmt =
+        info.param.format == SharerFormat::FullVector     ? "Full"
+        : info.param.format == SharerFormat::CoarseVector ? "Coarse"
+                                                          : "Hier";
+    return std::string(fmt) + "_" + std::to_string(info.param.caches);
+}
+
+class SharerRepProperty : public testing::TestWithParam<RepCase>
+{
+  protected:
+    void SetUp() override
+    {
+        rep = makeSharerRep(GetParam().format, GetParam().caches);
+        ASSERT_NE(rep, nullptr);
+    }
+    std::unique_ptr<SharerRep> rep;
+};
+
+TEST_P(SharerRepProperty, StartsEmpty)
+{
+    EXPECT_TRUE(rep->empty());
+    EXPECT_EQ(rep->count(), 0u);
+    DynamicBitset targets;
+    rep->invalidationTargets(targets);
+    EXPECT_TRUE(targets.none());
+}
+
+TEST_P(SharerRepProperty, AddThenContains)
+{
+    rep->add(0);
+    EXPECT_TRUE(rep->mightContain(0));
+    EXPECT_EQ(rep->count(), 1u);
+    EXPECT_FALSE(rep->empty());
+}
+
+TEST_P(SharerRepProperty, RemoveLastSharerEmpties)
+{
+    rep->add(1);
+    EXPECT_TRUE(rep->remove(1));
+    EXPECT_TRUE(rep->empty());
+}
+
+TEST_P(SharerRepProperty, RemoveReturnsFalseWhileOthersRemain)
+{
+    rep->add(0);
+    rep->add(1);
+    EXPECT_FALSE(rep->remove(0));
+    EXPECT_TRUE(rep->remove(1));
+}
+
+TEST_P(SharerRepProperty, NeverFalseNegative)
+{
+    // Whatever the representation does internally, a true sharer must
+    // always be covered by mightContain and invalidationTargets.
+    const std::size_t n = GetParam().caches;
+    Rng rng(42);
+    std::set<CacheId> truth;
+    for (int step = 0; step < 500; ++step) {
+        const auto cache = static_cast<CacheId>(rng.below(n));
+        if (rng.chance(0.6)) {
+            if (!truth.count(cache)) {
+                rep->add(cache);
+                truth.insert(cache);
+            }
+        } else if (!truth.empty()) {
+            // remove a random true sharer
+            auto it = truth.begin();
+            std::advance(it, rng.below(truth.size()));
+            rep->remove(*it);
+            truth.erase(it);
+        }
+        DynamicBitset targets;
+        rep->invalidationTargets(targets);
+        for (CacheId c : truth) {
+            ASSERT_TRUE(rep->mightContain(c)) << "step " << step;
+            ASSERT_TRUE(targets.test(c)) << "step " << step;
+        }
+        ASSERT_EQ(rep->count(), truth.size());
+    }
+}
+
+TEST_P(SharerRepProperty, ClearEmpties)
+{
+    for (CacheId c = 0; c < 4; ++c)
+        rep->add(c);
+    rep->clear();
+    EXPECT_TRUE(rep->empty());
+    DynamicBitset targets;
+    rep->invalidationTargets(targets);
+    EXPECT_TRUE(targets.none());
+}
+
+TEST_P(SharerRepProperty, DuplicateAddIsIdempotentWhilePrecise)
+{
+    if (GetParam().format == SharerFormat::CoarseVector)
+        GTEST_SKIP() << "coarse mode tolerates only unique adds";
+    rep->add(2);
+    rep->add(2);
+    EXPECT_EQ(rep->count(), 1u);
+}
+
+TEST_P(SharerRepProperty, StorageBitsPositive)
+{
+    EXPECT_GT(rep->storageBits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReps, SharerRepProperty,
+    testing::Values(RepCase{SharerFormat::FullVector, 16},
+                    RepCase{SharerFormat::FullVector, 64},
+                    RepCase{SharerFormat::FullVector, 1024},
+                    RepCase{SharerFormat::CoarseVector, 16},
+                    RepCase{SharerFormat::CoarseVector, 64},
+                    RepCase{SharerFormat::CoarseVector, 1024},
+                    RepCase{SharerFormat::Hierarchical, 16},
+                    RepCase{SharerFormat::Hierarchical, 64},
+                    RepCase{SharerFormat::Hierarchical, 1024}),
+    repName);
+
+// --- FullVector specifics -----------------------------------------------------
+
+TEST(FullVector, PreciseTargets)
+{
+    FullVectorRep rep(16);
+    rep.add(3);
+    rep.add(9);
+    DynamicBitset targets;
+    rep.invalidationTargets(targets);
+    EXPECT_EQ(targets.count(), 2u);
+    EXPECT_TRUE(targets.test(3));
+    EXPECT_TRUE(targets.test(9));
+    EXPECT_TRUE(rep.precise());
+}
+
+TEST(FullVector, StorageIsOneBitPerCache)
+{
+    EXPECT_EQ(FullVectorRep(16).storageBits(), 16u);
+    EXPECT_EQ(FullVectorRep(1024).storageBits(), 1024u);
+}
+
+// --- CoarseVector specifics ----------------------------------------------------
+
+TEST(CoarseVector, StaysPreciseWithinPointerBudget)
+{
+    CoarseVectorRep rep(64); // budget = 2*6 = 12 bits, 2 pointers
+    rep.add(10);
+    rep.add(50);
+    EXPECT_TRUE(rep.precise());
+    EXPECT_FALSE(rep.isCoarse());
+    DynamicBitset targets;
+    rep.invalidationTargets(targets);
+    EXPECT_EQ(targets.count(), 2u);
+}
+
+TEST(CoarseVector, OverflowSwitchesToCoarse)
+{
+    CoarseVectorRep rep(64);
+    rep.add(1);
+    rep.add(2);
+    rep.add(3); // third sharer overflows two pointers
+    EXPECT_TRUE(rep.isCoarse());
+    EXPECT_FALSE(rep.precise());
+    EXPECT_EQ(rep.count(), 3u);
+}
+
+TEST(CoarseVector, CoarseTargetsAreSuperset)
+{
+    CoarseVectorRep rep(64);
+    rep.add(0);
+    rep.add(20);
+    rep.add(40);
+    DynamicBitset targets;
+    rep.invalidationTargets(targets);
+    EXPECT_TRUE(targets.test(0));
+    EXPECT_TRUE(targets.test(20));
+    EXPECT_TRUE(targets.test(40));
+    // Coarse bits cover whole groups, so the target count is at least
+    // the sharer count and bounded by groups * groupSize.
+    EXPECT_GE(targets.count(), 3u);
+}
+
+TEST(CoarseVector, StorageBitsMatchBudget)
+{
+    EXPECT_EQ(CoarseVectorRep(16).storageBits(), 8u);   // 2*log2(16)
+    EXPECT_EQ(CoarseVectorRep(64).storageBits(), 12u);  // 2*log2(64)
+    EXPECT_EQ(CoarseVectorRep(1024).storageBits(), 20u);
+    EXPECT_EQ(sharerStorageBits(SharerFormat::CoarseVector, 1024), 20u);
+}
+
+TEST(CoarseVector, EmptiesFromCoarseMode)
+{
+    CoarseVectorRep rep(32);
+    rep.add(0);
+    rep.add(1);
+    rep.add(2);
+    ASSERT_TRUE(rep.isCoarse());
+    EXPECT_FALSE(rep.remove(0));
+    EXPECT_FALSE(rep.remove(1));
+    EXPECT_TRUE(rep.remove(2));
+    EXPECT_TRUE(rep.empty());
+    EXPECT_FALSE(rep.isCoarse()); // reset to precise pointer mode
+}
+
+TEST(CoarseVector, CoarseModeRetainsGroupBitsUntilEmpty)
+{
+    CoarseVectorRep rep(64);
+    rep.add(0);
+    rep.add(1);
+    rep.add(2);
+    ASSERT_TRUE(rep.isCoarse());
+    rep.remove(2);
+    // Group bit for {0,1,...} region must still cover remaining sharers.
+    DynamicBitset targets;
+    rep.invalidationTargets(targets);
+    EXPECT_TRUE(targets.test(0));
+    EXPECT_TRUE(targets.test(1));
+}
+
+TEST(CoarseVector, SmallSystemsDegenerate)
+{
+    // 2 caches: budget = 2 bits, groups of 1 — effectively full vector.
+    CoarseVectorRep rep(2);
+    rep.add(0);
+    rep.add(1);
+    DynamicBitset targets;
+    rep.invalidationTargets(targets);
+    EXPECT_EQ(targets.count(), 2u);
+}
+
+// --- Hierarchical specifics -----------------------------------------------------
+
+TEST(Hierarchical, AllocatesLeavesOnDemand)
+{
+    HierarchicalVectorRep rep(64); // clusters of 8
+    EXPECT_EQ(rep.allocatedLeaves(), 0u);
+    rep.add(0);
+    EXPECT_EQ(rep.allocatedLeaves(), 1u);
+    rep.add(7); // same cluster
+    EXPECT_EQ(rep.allocatedLeaves(), 1u);
+    rep.add(8); // next cluster
+    EXPECT_EQ(rep.allocatedLeaves(), 2u);
+}
+
+TEST(Hierarchical, DeallocatesEmptyLeaves)
+{
+    HierarchicalVectorRep rep(64);
+    rep.add(0);
+    rep.add(8);
+    rep.remove(0);
+    EXPECT_EQ(rep.allocatedLeaves(), 1u);
+    rep.remove(8);
+    EXPECT_EQ(rep.allocatedLeaves(), 0u);
+    EXPECT_TRUE(rep.empty());
+}
+
+TEST(Hierarchical, PreciseTargets)
+{
+    HierarchicalVectorRep rep(100);
+    rep.add(0);
+    rep.add(55);
+    rep.add(99);
+    DynamicBitset targets;
+    rep.invalidationTargets(targets);
+    EXPECT_EQ(targets.count(), 3u);
+    EXPECT_TRUE(targets.test(0));
+    EXPECT_TRUE(targets.test(55));
+    EXPECT_TRUE(targets.test(99));
+    EXPECT_TRUE(rep.precise());
+}
+
+TEST(Hierarchical, ExplicitClusterSize)
+{
+    HierarchicalVectorRep rep(64, 16);
+    EXPECT_EQ(rep.clusterSize(), 16u);
+    rep.add(15);
+    rep.add(16);
+    EXPECT_EQ(rep.allocatedLeaves(), 2u);
+}
+
+TEST(Hierarchical, RootStorageBitsFormula)
+{
+    // sqrt split: 1024 caches -> 32 clusters of 32.
+    EXPECT_EQ(sharerStorageBits(SharerFormat::Hierarchical, 1024), 32u);
+    EXPECT_EQ(sharerStorageBits(SharerFormat::Hierarchical, 16), 4u);
+}
+
+TEST(SharerFactory, BuildsEveryFormat)
+{
+    for (SharerFormat f :
+         {SharerFormat::FullVector, SharerFormat::CoarseVector,
+          SharerFormat::Hierarchical}) {
+        auto rep = makeSharerRep(f, 32);
+        ASSERT_NE(rep, nullptr);
+        rep->add(5);
+        EXPECT_TRUE(rep->mightContain(5));
+    }
+}
+
+} // namespace
+} // namespace cdir

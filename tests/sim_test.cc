@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Integration tests for the CMP system model: configuration plumbing,
+ * coherence semantics end-to-end (write invalidation, eviction
+ * retirement, forced invalidations), the directory-covers-caches
+ * inclusion invariant under random load for every organization, and the
+ * experiment driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cmp_system.hh"
+#include "sim/experiment.hh"
+
+namespace cdir {
+namespace {
+
+/** Small but structurally faithful config for fast tests. */
+CmpConfig
+tinyConfig(CmpConfigKind kind, DirectoryKind dir_kind)
+{
+    CmpConfig cfg;
+    cfg.kind = kind;
+    cfg.numCores = 4;
+    cfg.numSlices = 4;
+    cfg.privateCache = CacheConfig{32, 2};
+    cfg.directory.kind = dir_kind;
+    switch (dir_kind) {
+      case DirectoryKind::Cuckoo:
+        cfg.directory.ways = 4;
+        cfg.directory.sets = 32; // 2x provisioning at 4 cores SharedL2
+        break;
+      case DirectoryKind::Sparse:
+      case DirectoryKind::InCache:
+        cfg.directory.ways = 8;
+        cfg.directory.sets = 16;
+        break;
+      case DirectoryKind::Skewed:
+      case DirectoryKind::Elbow:
+        cfg.directory.ways = 4;
+        cfg.directory.sets = 32;
+        break;
+      case DirectoryKind::DuplicateTag:
+      case DirectoryKind::Tagless:
+        break; // geometry derived from the tracked caches
+    }
+    return cfg;
+}
+
+WorkloadParams
+tinyWorkload(std::size_t cores = 4)
+{
+    WorkloadParams p;
+    p.numCores = cores;
+    p.codeBlocks = 64;
+    p.sharedBlocks = 128;
+    p.privateBlocksPerCore = 64;
+    p.instructionFraction = 0.2;
+    p.sharedDataFraction = 0.4;
+    p.writeFraction = 0.25;
+    p.seed = 3;
+    return p;
+}
+
+TEST(CmpConfig, PaperConfigsMatchTable1)
+{
+    const auto shared = CmpConfig::paperConfig(CmpConfigKind::SharedL2);
+    EXPECT_EQ(shared.numCores, 16u);
+    EXPECT_EQ(shared.cachesPerCore(), 2u);
+    EXPECT_EQ(shared.numCaches(), 32u);
+    EXPECT_EQ(shared.privateCache.capacityBlocks(), 1024u); // 64KB
+    EXPECT_EQ(shared.aggregateFrames(), 32768u);
+
+    const auto priv = CmpConfig::paperConfig(CmpConfigKind::PrivateL2);
+    EXPECT_EQ(priv.cachesPerCore(), 1u);
+    EXPECT_EQ(priv.numCaches(), 16u);
+    EXPECT_EQ(priv.privateCache.capacityBlocks(), 16384u); // 1MB
+    EXPECT_EQ(priv.aggregateFrames(), 262144u);
+}
+
+TEST(CmpConfig, PaperDirectorySizesGiveExpectedProvisioning)
+{
+    // §5.2 selections: 4x512 is 1x for Shared-L2; 3x8192 is 1.5x for
+    // Private-L2 (per slice).
+    const auto shared = CmpConfig::paperConfig(CmpConfigKind::SharedL2);
+    EXPECT_DOUBLE_EQ(
+        provisioningFactor(shared, cuckooSliceParams(4, 512)), 1.0);
+    EXPECT_DOUBLE_EQ(
+        provisioningFactor(shared, cuckooSliceParams(4, 1024)), 2.0);
+
+    const auto priv = CmpConfig::paperConfig(CmpConfigKind::PrivateL2);
+    EXPECT_DOUBLE_EQ(
+        provisioningFactor(priv, cuckooSliceParams(3, 8192)), 1.5);
+    EXPECT_DOUBLE_EQ(
+        provisioningFactor(priv, sparseSliceParams(8, 2048)), 1.0);
+}
+
+TEST(CmpSystem, SharedL2RoutesInstructionAndDataSeparately)
+{
+    auto cfg = tinyConfig(CmpConfigKind::SharedL2, DirectoryKind::Cuckoo);
+    CmpSystem sys(cfg);
+    EXPECT_EQ(sys.numCaches(), 8u); // 4 cores x (I + D)
+
+    MemAccess instr{0, 0x100, false, true};
+    MemAccess data{0, 0x200, false, false};
+    sys.access(instr);
+    sys.access(data);
+    EXPECT_TRUE(sys.cache(0).contains(0x100));  // core 0 I-cache
+    EXPECT_FALSE(sys.cache(0).contains(0x200));
+    EXPECT_TRUE(sys.cache(1).contains(0x200));  // core 0 D-cache
+}
+
+TEST(CmpSystem, PrivateL2UnifiesInstructionAndData)
+{
+    auto cfg =
+        tinyConfig(CmpConfigKind::PrivateL2, DirectoryKind::Cuckoo);
+    CmpSystem sys(cfg);
+    EXPECT_EQ(sys.numCaches(), 4u);
+    sys.access({2, 0x100, false, true});
+    sys.access({2, 0x200, false, false});
+    EXPECT_TRUE(sys.cache(2).contains(0x100));
+    EXPECT_TRUE(sys.cache(2).contains(0x200));
+}
+
+TEST(CmpSystem, WriteInvalidatesRemoteCopies)
+{
+    auto cfg =
+        tinyConfig(CmpConfigKind::PrivateL2, DirectoryKind::Cuckoo);
+    CmpSystem sys(cfg);
+    // Cores 0..2 read block 0x40; core 3 writes it.
+    for (CoreId c = 0; c < 3; ++c)
+        sys.access({c, 0x40, false, false});
+    sys.access({3, 0x40, true, false});
+    EXPECT_FALSE(sys.cache(0).contains(0x40));
+    EXPECT_FALSE(sys.cache(1).contains(0x40));
+    EXPECT_FALSE(sys.cache(2).contains(0x40));
+    EXPECT_TRUE(sys.cache(3).contains(0x40));
+    EXPECT_EQ(sys.stats().sharingInvalidations, 3u);
+    // Directory tracks only the writer now.
+    DynamicBitset sharers;
+    ASSERT_TRUE(sys.slice(0x40 % 4).probe(0x40 / 4, &sharers));
+    EXPECT_TRUE(sharers.test(3));
+    EXPECT_FALSE(sharers.test(0));
+}
+
+TEST(CmpSystem, UpgradeOnCleanWriteHitInvalidatesPeers)
+{
+    auto cfg =
+        tinyConfig(CmpConfigKind::PrivateL2, DirectoryKind::Cuckoo);
+    CmpSystem sys(cfg);
+    sys.access({0, 0x40, false, false});
+    sys.access({1, 0x40, false, false});
+    // Core 0 hits its clean copy with a write -> upgrade through home.
+    sys.access({0, 0x40, true, false});
+    EXPECT_TRUE(sys.cache(0).contains(0x40));
+    EXPECT_FALSE(sys.cache(1).contains(0x40));
+    EXPECT_EQ(sys.stats().writeUpgrades, 1u);
+}
+
+TEST(CmpSystem, EvictionRetiresSharerAndFreesEntry)
+{
+    auto cfg =
+        tinyConfig(CmpConfigKind::PrivateL2, DirectoryKind::Cuckoo);
+    cfg.privateCache = CacheConfig{1, 1}; // single-frame cache
+    CmpSystem sys(cfg);
+    sys.access({0, 0x10, false, false});
+    EXPECT_TRUE(sys.slice(0x10 % 4).probe(0x10 / 4));
+    // Second block evicts the first; its directory entry must empty.
+    sys.access({0, 0x20, false, false});
+    EXPECT_FALSE(sys.slice(0x10 % 4).probe(0x10 / 4));
+    EXPECT_TRUE(sys.slice(0x20 % 4).probe(0x20 / 4));
+    EXPECT_EQ(sys.stats().cacheEvictions, 1u);
+}
+
+TEST(CmpSystem, SliceInterleavingByLowBits)
+{
+    auto cfg =
+        tinyConfig(CmpConfigKind::PrivateL2, DirectoryKind::Cuckoo);
+    CmpSystem sys(cfg);
+    sys.access({0, 5, false, false}); // slice 1 (5 mod 4)
+    EXPECT_TRUE(sys.slice(1).probe(1)); // tag 5>>2 = 1
+    EXPECT_FALSE(sys.slice(0).probe(1));
+}
+
+struct SimCase
+{
+    CmpConfigKind config;
+    DirectoryKind dir;
+};
+
+std::string
+simCaseName(const testing::TestParamInfo<SimCase> &info)
+{
+    return std::string(info.param.config == CmpConfigKind::SharedL2
+                           ? "SharedL2_"
+                           : "PrivateL2_") +
+           directoryKindName(info.param.dir);
+}
+
+class SimInvariant : public testing::TestWithParam<SimCase>
+{};
+
+TEST_P(SimInvariant, DirectoryCoversCachesUnderRandomLoad)
+{
+    // Inclusion invariant (§2): every privately cached block is tracked
+    // by its home slice, for every organization and both cache
+    // hierarchies, throughout a random run.
+    auto cfg = tinyConfig(GetParam().config, GetParam().dir);
+    CmpSystem sys(cfg);
+    SyntheticWorkload w(tinyWorkload());
+    for (int round = 0; round < 20; ++round) {
+        sys.run(w, 2000);
+        ASSERT_TRUE(sys.directoryCoversCaches()) << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SimInvariant,
+    testing::Values(
+        SimCase{CmpConfigKind::SharedL2, DirectoryKind::Cuckoo},
+        SimCase{CmpConfigKind::SharedL2, DirectoryKind::Sparse},
+        SimCase{CmpConfigKind::SharedL2, DirectoryKind::Skewed},
+        SimCase{CmpConfigKind::SharedL2, DirectoryKind::DuplicateTag},
+        SimCase{CmpConfigKind::SharedL2, DirectoryKind::Tagless},
+        SimCase{CmpConfigKind::SharedL2, DirectoryKind::InCache},
+        SimCase{CmpConfigKind::PrivateL2, DirectoryKind::Cuckoo},
+        SimCase{CmpConfigKind::PrivateL2, DirectoryKind::Sparse},
+        SimCase{CmpConfigKind::PrivateL2, DirectoryKind::Skewed},
+        SimCase{CmpConfigKind::PrivateL2, DirectoryKind::DuplicateTag},
+        SimCase{CmpConfigKind::PrivateL2, DirectoryKind::Tagless}),
+    simCaseName);
+
+TEST(CmpSystem, OccupancySamplingIsBounded)
+{
+    auto cfg = tinyConfig(CmpConfigKind::SharedL2, DirectoryKind::Cuckoo);
+    CmpSystem sys(cfg);
+    SyntheticWorkload w(tinyWorkload());
+    sys.run(w, 20000, 500);
+    const double occ = sys.stats().directoryOccupancy.mean();
+    EXPECT_GT(occ, 0.0);
+    EXPECT_LE(occ, 1.0);
+    EXPECT_GT(sys.stats().directoryOccupancy.count(), 10u);
+}
+
+TEST(CmpSystem, AggregateStatsSumSlices)
+{
+    auto cfg = tinyConfig(CmpConfigKind::SharedL2, DirectoryKind::Cuckoo);
+    CmpSystem sys(cfg);
+    SyntheticWorkload w(tinyWorkload());
+    sys.run(w, 10000);
+    const auto agg = sys.aggregateDirectoryStats();
+    std::uint64_t lookups = 0;
+    for (std::size_t s = 0; s < sys.numSlices(); ++s)
+        lookups += sys.slice(s).stats().lookups;
+    EXPECT_EQ(agg.lookups, lookups);
+    EXPECT_GT(agg.insertions, 0u);
+    EXPECT_EQ(agg.attemptHistogram.count(), agg.insertions);
+}
+
+TEST(CmpSystem, ResetStatsPreservesState)
+{
+    auto cfg =
+        tinyConfig(CmpConfigKind::PrivateL2, DirectoryKind::Cuckoo);
+    CmpSystem sys(cfg);
+    sys.access({0, 0x8, false, false});
+    sys.resetStats();
+    EXPECT_EQ(sys.stats().accesses, 0u);
+    EXPECT_TRUE(sys.cache(0).contains(0x8));
+    EXPECT_TRUE(sys.slice(0).probe(0x8 / 4));
+}
+
+TEST(CmpSystem, ForcedInvalidationsRemoveCachedBlocks)
+{
+    // Under-provisioned Sparse directory: conflicts must invalidate
+    // live cached blocks and be counted.
+    auto cfg = tinyConfig(CmpConfigKind::SharedL2, DirectoryKind::Sparse);
+    cfg.directory.ways = 1;
+    cfg.directory.sets = 8; // 8 entries per slice, far below demand
+    CmpSystem sys(cfg);
+    SyntheticWorkload w(tinyWorkload());
+    sys.run(w, 20000);
+    EXPECT_GT(sys.stats().forcedInvalidations, 0u);
+    ASSERT_TRUE(sys.directoryCoversCaches());
+}
+
+// --- experiment driver ---------------------------------------------------------
+
+TEST(Experiment, RunsAndReportsMetrics)
+{
+    auto cfg = tinyConfig(CmpConfigKind::SharedL2, DirectoryKind::Cuckoo);
+    ExperimentOptions opts;
+    opts.warmupAccesses = 5000;
+    opts.measureAccesses = 20000;
+    opts.occupancySampleEvery = 1000;
+    const auto res = runExperiment(cfg, tinyWorkload(), opts);
+    EXPECT_GT(res.avgInsertionAttempts, 0.99);
+    EXPECT_GE(res.forcedInvalidationRate, 0.0);
+    EXPECT_GT(res.avgOccupancy, 0.0);
+    EXPECT_LE(res.avgOccupancy, 1.0);
+    EXPECT_EQ(res.organization.substr(0, 6), "Cuckoo");
+    EXPECT_GT(res.directory.insertions, 0u);
+    EXPECT_EQ(res.system.accesses, 20000u);
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    auto cfg =
+        tinyConfig(CmpConfigKind::PrivateL2, DirectoryKind::Cuckoo);
+    ExperimentOptions opts;
+    opts.warmupAccesses = 2000;
+    opts.measureAccesses = 10000;
+    const auto a = runExperiment(cfg, tinyWorkload(), opts);
+    const auto b = runExperiment(cfg, tinyWorkload(), opts);
+    EXPECT_EQ(a.directory.insertions, b.directory.insertions);
+    EXPECT_EQ(a.directory.forcedEvictions, b.directory.forcedEvictions);
+    EXPECT_DOUBLE_EQ(a.avgOccupancy, b.avgOccupancy);
+}
+
+} // namespace
+} // namespace cdir

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for trace parsing/formatting, file round-trips, and driving the
+ * CMP simulator from a TraceReader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/cmp_system.hh"
+#include "workload/trace.hh"
+
+namespace cdir {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceFormat, RoundTripsRecords)
+{
+    MemAccess a{3, 0xdeadbeef, true, false};
+    MemAccess parsed;
+    ASSERT_TRUE(parseTraceLine(formatTraceLine(a), parsed));
+    EXPECT_EQ(parsed.core, 3u);
+    EXPECT_EQ(parsed.addr, 0xdeadbeefull);
+    EXPECT_TRUE(parsed.write);
+    EXPECT_FALSE(parsed.instruction);
+}
+
+TEST(TraceFormat, InstructionMarker)
+{
+    MemAccess a{0, 0x10, false, true};
+    const std::string line = formatTraceLine(a);
+    EXPECT_EQ(line.back(), 'i');
+    MemAccess parsed;
+    ASSERT_TRUE(parseTraceLine(line, parsed));
+    EXPECT_TRUE(parsed.instruction);
+    EXPECT_FALSE(parsed.write);
+}
+
+TEST(TraceFormat, RejectsCommentsAndBlank)
+{
+    MemAccess parsed;
+    EXPECT_FALSE(parseTraceLine("# comment", parsed));
+    EXPECT_FALSE(parseTraceLine("", parsed));
+    EXPECT_FALSE(parseTraceLine("   ", parsed));
+}
+
+TEST(TraceFormat, RejectsMalformed)
+{
+    MemAccess parsed;
+    EXPECT_FALSE(parseTraceLine("1 zzz r", parsed));
+    EXPECT_FALSE(parseTraceLine("1 10", parsed));
+    EXPECT_FALSE(parseTraceLine("1 10 x", parsed));
+    EXPECT_FALSE(parseTraceLine("1 10 rw", parsed));
+}
+
+TEST(TraceFormat, ParsesHexAddresses)
+{
+    MemAccess parsed;
+    ASSERT_TRUE(parseTraceLine("7 1f0a w", parsed));
+    EXPECT_EQ(parsed.addr, 0x1f0aull);
+    EXPECT_EQ(parsed.core, 7u);
+    EXPECT_TRUE(parsed.write);
+}
+
+TEST(TraceFile, WriteThenReadBack)
+{
+    const std::string path = tempPath("cdir_trace_roundtrip.txt");
+    {
+        TraceWriter writer(path);
+        writer.write({0, 0x100, false, false});
+        writer.write({1, 0x200, true, false});
+        writer.write({2, 0x300, false, true});
+        EXPECT_EQ(writer.recordsWritten(), 3u);
+    }
+    TraceReader reader(path);
+    ASSERT_FALSE(reader.exhausted());
+    MemAccess a = reader.next();
+    EXPECT_EQ(a.addr, 0x100u);
+    a = reader.next();
+    EXPECT_TRUE(a.write);
+    a = reader.next();
+    EXPECT_TRUE(a.instruction);
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(reader.recordsRead(), 3u);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, SkipsCommentsCountsMalformed)
+{
+    const std::string path = tempPath("cdir_trace_dirty.txt");
+    {
+        std::ofstream out(path);
+        out << "# header\n"
+            << "0 10 r\n"
+            << "garbage line\n"
+            << "\n"
+            << "1 20 w\n";
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.next().addr, 0x10u);
+    EXPECT_EQ(reader.next().addr, 0x20u);
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(reader.malformedLines(), 1u);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, MissingFileThrows)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/path/trace.txt"),
+                 std::runtime_error);
+}
+
+TEST(TraceReplay, DrivesSimulatorIdenticallyToGenerator)
+{
+    // Record a synthetic stream to a file, then replay it: the system
+    // must land in exactly the same statistical state.
+    WorkloadParams params;
+    params.numCores = 4;
+    params.codeBlocks = 32;
+    params.sharedBlocks = 64;
+    params.privateBlocksPerCore = 64;
+    params.seed = 21;
+
+    const std::string path = tempPath("cdir_trace_replay.txt");
+    {
+        SyntheticWorkload gen(params);
+        TraceWriter writer(path);
+        for (int i = 0; i < 20000; ++i)
+            writer.write(gen.next());
+    }
+
+    CmpConfig cfg;
+    cfg.numCores = 4;
+    cfg.numSlices = 4;
+    cfg.privateCache = CacheConfig{32, 2};
+    cfg.directory.kind = DirectoryKind::Cuckoo;
+    cfg.directory.ways = 4;
+    cfg.directory.sets = 32;
+
+    CmpSystem direct(cfg);
+    SyntheticWorkload gen(params);
+    direct.run(gen, 20000);
+
+    CmpSystem replayed(cfg);
+    TraceReader reader(path);
+    const std::uint64_t executed = replayed.run(reader, 1u << 30);
+    EXPECT_EQ(executed, 20000u);
+
+    EXPECT_EQ(direct.stats().cacheMisses, replayed.stats().cacheMisses);
+    EXPECT_EQ(direct.aggregateDirectoryStats().insertions,
+              replayed.aggregateDirectoryStats().insertions);
+    EXPECT_EQ(direct.aggregateDirectoryStats().forcedEvictions,
+              replayed.aggregateDirectoryStats().forcedEvictions);
+    EXPECT_DOUBLE_EQ(direct.currentOccupancy(),
+                     replayed.currentOccupancy());
+    std::filesystem::remove(path);
+}
+
+TEST(SyntheticSource, WrapsGenerator)
+{
+    WorkloadParams params;
+    params.numCores = 2;
+    SyntheticSource source(params);
+    EXPECT_FALSE(source.exhausted());
+    const MemAccess a = source.next();
+    EXPECT_LT(a.core, 2u);
+}
+
+} // namespace
+} // namespace cdir
