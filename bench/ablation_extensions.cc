@@ -46,6 +46,7 @@ churn(Directory &dir, double occupancy, std::uint64_t ops,
       std::uint64_t seed)
 {
     Rng rng(seed);
+    DirAccessContext ctx = dir.makeContext();
     std::vector<Tag> live;
     const auto target =
         static_cast<std::size_t>(occupancy * double(dir.capacity()));
@@ -60,8 +61,9 @@ churn(Directory &dir, double occupancy, std::uint64_t ops,
         const Tag tag = rng.next() >> 4;
         if (dir.probe(tag))
             continue;
-        auto res = dir.access(tag, 0, false);
-        if (!res.insertDiscarded)
+        ctx.reset();
+        dir.access(DirRequest{tag, 0, false}, ctx);
+        if (!ctx.back().insertDiscarded)
             live.push_back(tag);
     }
     return {dir.stats().insertionAttempts.mean(),
@@ -92,7 +94,7 @@ main(int argc, char **argv)
         {"Skewed 4w (no displace)",
          [] {
              DirectoryParams p;
-             p.kind = DirectoryKind::Skewed;
+             p.organization = "Skewed";
              p.numCaches = kCaches;
              p.ways = 4;
              p.sets = kEntries / 4;

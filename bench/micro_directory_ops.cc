@@ -1,84 +1,90 @@
 /**
  * @file
  * google-benchmark microbenchmarks: lookup/insert/remove throughput of
- * each directory organization at a realistic steady-state occupancy.
+ * every registered directory organization at a realistic steady-state
+ * occupancy, plus the allocation story of the access protocol.
+ *
  * Not a paper figure — a software-performance sanity check that the
  * constant-time claims of the Cuckoo organization hold in this
- * implementation.
+ * implementation, and the proof of the allocation-free redesign:
+ *
+ *  - BM_LegacyAccessChurn drives the deprecated value-returning
+ *    access(tag, cache, is_write) shim ("before");
+ *  - BM_ContextAccessChurn drives the same stream through a reusable
+ *    DirAccessContext ("after");
+ *  - BM_AccessBatch drives whole DirRequest spans through accessBatch.
+ *
+ * Each reports an `allocs/op` counter from a global operator-new hook;
+ * after warmup the context/batch paths must report 0.00 while the
+ * legacy shim pays for its owning snapshot on every call.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/alloc_counter.hh"
 #include "common/rng.hh"
-#include "directory/directory.hh"
+#include "directory/registry.hh"
 
 namespace {
 
 using namespace cdir;
 
+constexpr std::size_t kCaches = 32;
+
 std::unique_ptr<Directory>
-build(DirectoryKind kind)
+build(const std::string &organization)
 {
     DirectoryParams p;
-    p.kind = kind;
-    p.numCaches = 32;
-    switch (kind) {
-      case DirectoryKind::Cuckoo:
+    p.organization = organization;
+    p.numCaches = kCaches;
+    if (organization == "Cuckoo" || organization == "Skewed" ||
+        organization == "Elbow") {
         p.ways = 4;
         p.sets = 2048;
-        break;
-      case DirectoryKind::Sparse:
+    } else if (organization == "Sparse") {
         p.ways = 8;
         p.sets = 1024;
-        break;
-      case DirectoryKind::Skewed:
-        p.ways = 4;
-        p.sets = 2048;
-        break;
-      case DirectoryKind::DuplicateTag:
-        p.sets = 128;
-        p.trackedCacheAssoc = 2;
-        break;
-      case DirectoryKind::InCache:
+    } else if (organization == "InCache") {
         p.ways = 16;
         p.sets = 512;
-        break;
-      case DirectoryKind::Tagless:
+    } else {
+        // DuplicateTag / Tagless mirror small cache sets.
         p.sets = 128;
+        p.trackedCacheAssoc = 2;
         p.taglessBucketBits = 64;
-        break;
-      case DirectoryKind::Elbow:
-        p.ways = 4;
-        p.sets = 2048;
-        break;
     }
     return makeDirectory(p);
 }
 
 void
-warm(Directory &dir, std::vector<Tag> &live, std::size_t count)
+warm(Directory &dir, DirAccessContext &ctx, std::vector<Tag> &live,
+     std::size_t count)
 {
     Rng rng(5);
     while (live.size() < count) {
         const Tag tag = rng.next() >> 8;
         if (dir.probe(tag))
             continue;
-        dir.access(tag, static_cast<CacheId>(live.size() % 32), false);
+        ctx.reset();
+        dir.access(DirRequest{tag, static_cast<CacheId>(live.size() %
+                                                        kCaches),
+                              false},
+                   ctx);
         live.push_back(tag);
     }
 }
 
 void
-BM_Probe(benchmark::State &state)
+BM_Probe(benchmark::State &state, const std::string &org)
 {
-    const auto kind = static_cast<DirectoryKind>(state.range(0));
-    state.SetLabel(directoryKindName(kind));
-    auto dir = build(kind);
+    auto dir = build(org);
+    DirAccessContext ctx = dir->makeContext();
     std::vector<Tag> live;
-    warm(*dir, live, 2048);
+    warm(*dir, ctx, live, 2048);
     std::size_t i = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(dir->probe(live[i++ % live.size()]));
@@ -86,37 +92,151 @@ BM_Probe(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+/** Before: every access pays for an owning DirAccessResult snapshot. */
 void
-BM_InsertRemoveChurn(benchmark::State &state)
+BM_LegacyAccessChurn(benchmark::State &state, const std::string &org)
 {
-    const auto kind = static_cast<DirectoryKind>(state.range(0));
-    state.SetLabel(directoryKindName(kind));
-    auto dir = build(kind);
+    auto dir = build(org);
+    DirAccessContext ctx = dir->makeContext();
     std::vector<Tag> live;
-    warm(*dir, live, 2048);
+    warm(*dir, ctx, live, 2048);
     Rng rng(7);
     std::size_t i = 0;
+    const std::size_t allocs_before = allocationCount();
     for (auto _ : state) {
-        // retire one, insert one: steady state occupancy
+        // retire one, insert one with a sharer and a write upgrade:
+        // steady-state occupancy with invalidation traffic.
         const std::size_t k = i++ % live.size();
-        dir->removeSharer(live[k], static_cast<CacheId>(k % 32));
+        const auto cache = static_cast<CacheId>(k % kCaches);
+        const auto peer = static_cast<CacheId>((k + 1) % kCaches);
+        dir->removeSharer(live[k], cache);
         const Tag fresh = rng.next() >> 8;
-        dir->access(fresh, static_cast<CacheId>(k % 32), false);
+        benchmark::DoNotOptimize(dir->access(fresh, cache, false));
+        benchmark::DoNotOptimize(dir->access(fresh, peer, false));
+        benchmark::DoNotOptimize(dir->access(fresh, cache, true));
         live[k] = fresh;
     }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 3));
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(allocationCount() - allocs_before),
+        benchmark::Counter::kAvgIterations);
 }
 
+/** After: the same churn through a reusable DirAccessContext. */
 void
-OrgArgs(benchmark::internal::Benchmark *b)
+BM_ContextAccessChurn(benchmark::State &state, const std::string &org)
 {
-    for (int kind = 0; kind <= 5; ++kind)
-        b->Arg(kind);
+    auto dir = build(org);
+    DirAccessContext ctx = dir->makeContext();
+    std::vector<Tag> live;
+    warm(*dir, ctx, live, 2048);
+    Rng rng(7);
+    std::size_t i = 0;
+    const std::size_t allocs_before = allocationCount();
+    for (auto _ : state) {
+        // Identical operation stream to BM_LegacyAccessChurn.
+        const std::size_t k = i++ % live.size();
+        const auto cache = static_cast<CacheId>(k % kCaches);
+        const auto peer = static_cast<CacheId>((k + 1) % kCaches);
+        dir->removeSharer(live[k], cache);
+        const Tag fresh = rng.next() >> 8;
+        ctx.reset();
+        dir->access(DirRequest{fresh, cache, false}, ctx);
+        dir->access(DirRequest{fresh, peer, false}, ctx);
+        dir->access(DirRequest{fresh, cache, true}, ctx);
+        benchmark::DoNotOptimize(ctx.size());
+        live[k] = fresh;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 3));
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(allocationCount() - allocs_before),
+        benchmark::Counter::kAvgIterations);
+}
+
+/** Whole spans of requests through accessBatch with one context. */
+void
+BM_AccessBatch(benchmark::State &state, const std::string &org)
+{
+    auto dir = build(org);
+    DirAccessContext ctx = dir->makeContext();
+    std::vector<Tag> live;
+    warm(*dir, ctx, live, 2048);
+
+    constexpr std::size_t kBatch = 64;
+    ctx.reserve(kBatch);
+    std::vector<DirRequest> requests(kBatch);
+    Rng rng(9);
+    std::size_t i = 0;
+    const std::size_t allocs_before = allocationCount();
+    for (auto _ : state) {
+        for (std::size_t b = 0; b < kBatch; ++b) {
+            const std::size_t k = i++ % live.size();
+            // Re-reference mostly tracked tags; refresh a few.
+            if (b % 8 == 0) {
+                dir->removeSharer(live[k],
+                                  static_cast<CacheId>(k % kCaches));
+                live[k] = rng.next() >> 8;
+            }
+            requests[b] = DirRequest{live[k],
+                                     static_cast<CacheId>(k % kCaches),
+                                     (b & 3) == 3};
+        }
+        ctx.reset();
+        dir->accessBatch(requests, ctx);
+        benchmark::DoNotOptimize(ctx.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kBatch));
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(allocationCount() - allocs_before),
+        benchmark::Counter::kAvgIterations);
+}
+
+/**
+ * Register one instance of each benchmark per organization.
+ * Registration must happen from main(), after every organization's
+ * static registrar has populated the DirectoryRegistry (static-init
+ * order across translation units is unspecified).
+ */
+void
+registerBenchmarks()
+{
+    struct Family
+    {
+        const char *name;
+        void (*fn)(benchmark::State &, const std::string &);
+    };
+    const Family families[] = {
+        {"BM_Probe", BM_Probe},
+        {"BM_LegacyAccessChurn", BM_LegacyAccessChurn},
+        {"BM_ContextAccessChurn", BM_ContextAccessChurn},
+        {"BM_AccessBatch", BM_AccessBatch},
+    };
+    for (const Family &family : families) {
+        for (const std::string &org :
+             DirectoryRegistry::instance().names()) {
+            const std::string name =
+                std::string(family.name) + "/" + org;
+            auto *fn = family.fn;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [fn, org](benchmark::State &state) { fn(state, org); });
+        }
+    }
 }
 
 } // namespace
 
-BENCHMARK(BM_Probe)->Apply(OrgArgs);
-BENCHMARK(BM_InsertRemoveChurn)->Apply(OrgArgs);
-
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    registerBenchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

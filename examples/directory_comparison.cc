@@ -46,12 +46,12 @@ main(int argc, char **argv)
     contenders.push_back({"Cuckoo 4w (1x)", cuckooSliceParams(4, 512)});
     {
         DirectoryParams dup;
-        dup.kind = DirectoryKind::DuplicateTag;
+        dup.organization = "DuplicateTag";
         contenders.push_back({"Duplicate-Tag", dup});
     }
     {
         DirectoryParams tagless;
-        tagless.kind = DirectoryKind::Tagless;
+        tagless.organization = "Tagless";
         tagless.taglessBucketBits = 64;
         contenders.push_back({"Tagless", tagless});
     }

@@ -1,0 +1,49 @@
+#include "common/alloc_counter.hh"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::size_t g_allocations = 0;
+}
+
+namespace cdir {
+
+std::size_t
+allocationCount()
+{
+    return g_allocations;
+}
+
+} // namespace cdir
+
+// GCC pairs inlined std::vector new-expressions with these replaced
+// deletes and flags the malloc/free mix; the pairing is ours and
+// correct (new uses malloc), so the warning is spurious.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocations;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    ++g_allocations;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop

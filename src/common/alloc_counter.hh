@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Process-wide heap-allocation counter for allocation-free-path
+ * verification (the zero-alloc tests and the micro benchmark's
+ * allocs/op counter).
+ *
+ * Deliberately NOT part of the cdir library: linking the companion
+ * alloc_counter.cc into a binary replaces the global operator
+ * new/delete, which only test/bench targets should opt into. Add
+ * `src/common/alloc_counter.cc` to the target's sources to enable it.
+ */
+
+#ifndef CDIR_COMMON_ALLOC_COUNTER_HH
+#define CDIR_COMMON_ALLOC_COUNTER_HH
+
+#include <cstddef>
+
+namespace cdir {
+
+/**
+ * Number of operator-new calls the process has performed so far.
+ * Measure a window by differencing two reads.
+ */
+std::size_t allocationCount();
+
+} // namespace cdir
+
+#endif // CDIR_COMMON_ALLOC_COUNTER_HH

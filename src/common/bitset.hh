@@ -64,6 +64,19 @@ class DynamicBitset
             w = 0;
     }
 
+    /**
+     * Resize to @p bits bits, all clear, reusing the existing word
+     * storage when possible (no heap traffic once the high-water size
+     * has been reached — the property the allocation-free access
+     * protocol relies on).
+     */
+    void
+    reinit(std::size_t bits)
+    {
+        numBits = bits;
+        words.assign((bits + 63) / 64, 0);
+    }
+
     /** Number of set bits. */
     std::size_t
     count() const

@@ -3,7 +3,26 @@
 #include <cassert>
 #include <sstream>
 
+#include "directory/registry.hh"
+
 namespace cdir {
+
+CDIR_REGISTER_DIRECTORY(sparse, "Sparse", DirectoryTraits{},
+                        [](const DirectoryParams &p) {
+                            return std::make_unique<AssocDirectory>(
+                                p.numCaches, p.ways, p.sets, p.format,
+                                HashKind::Modulo);
+                        });
+
+CDIR_REGISTER_DIRECTORY(skewed, "Skewed", DirectoryTraits{},
+                        [](const DirectoryParams &p) {
+                            return std::make_unique<AssocDirectory>(
+                                p.numCaches, p.ways, p.sets, p.format,
+                                p.hash == HashKind::Modulo
+                                    ? HashKind::Skewing
+                                    : p.hash,
+                                p.hashSeed);
+                        });
 
 AssocDirectory::AssocDirectory(std::size_t num_caches, unsigned num_ways,
                                std::size_t num_sets, SharerFormat fmt,
@@ -15,7 +34,9 @@ AssocDirectory::AssocDirectory(std::size_t num_caches, unsigned num_ways,
       ways(num_ways),
       sets(num_sets),
       slots(std::size_t{num_ways} * num_sets)
-{}
+{
+    prefillRepPool(fmt, slots.size());
+}
 
 AssocDirectory::Slot *
 AssocDirectory::findSlot(Tag tag)
@@ -34,34 +55,19 @@ AssocDirectory::findSlot(Tag tag) const
     return const_cast<AssocDirectory *>(this)->findSlot(tag);
 }
 
-DirAccessResult
-AssocDirectory::access(Tag tag, CacheId cache, bool is_write)
+void
+AssocDirectory::access(const DirRequest &request, DirAccessContext &ctx)
 {
-    DirAccessResult result;
+    DirAccessOutcome &out = ctx.beginOutcome();
     ++statistics.lookups;
     ++useClock;
 
-    if (Slot *s = findSlot(tag)) {
-        result.hit = true;
+    if (Slot *s = findSlot(request.tag)) {
+        out.hit = true;
         ++statistics.hits;
         s->lastUse = useClock;
-        if (is_write) {
-            DynamicBitset targets;
-            s->rep->invalidationTargets(targets);
-            if (cache < targets.size() && targets.test(cache))
-                targets.reset(cache);
-            if (targets.any()) {
-                result.hadSharerInvalidations = true;
-                result.sharerInvalidations = std::move(targets);
-                ++statistics.writeUpgrades;
-            }
-            s->rep->clear();
-            s->rep->add(cache);
-        } else {
-            s->rep->add(cache);
-            ++statistics.sharerAdds;
-        }
-        return result;
+        updateEntryOnHit(*s->rep, request, ctx, out);
+        return;
     }
 
     // Miss: pick a vacant candidate or evict the LRU candidate. This is
@@ -69,7 +75,7 @@ AssocDirectory::access(Tag tag, CacheId cache, bool is_write)
     // cached copies must be invalidated to keep the directory precise.
     Slot *victim = nullptr;
     for (unsigned w = 0; w < ways; ++w) {
-        Slot &s = slot(w, family->index(w, tag));
+        Slot &s = slot(w, family->index(w, request.tag));
         if (!s.valid) {
             victim = &s;
             break;
@@ -80,28 +86,27 @@ AssocDirectory::access(Tag tag, CacheId cache, bool is_write)
     assert(victim != nullptr);
 
     if (victim->valid) {
-        EvictedEntry evicted;
+        EvictedEntry &evicted = ctx.appendEviction(out);
         evicted.tag = victim->tag;
         victim->rep->invalidationTargets(evicted.targets);
         ++statistics.forcedEvictions;
         statistics.forcedBlockInvalidations += evicted.targets.count();
-        result.forcedEvictions.push_back(std::move(evicted));
+        victim->rep->clear(); // reuse the evicted entry's rep in place
     } else {
         ++occupied;
+        victim->rep = acquireRep(format);
     }
 
-    victim->tag = tag;
-    victim->rep = makeSharerRep(format, caches);
-    victim->rep->add(cache);
+    victim->tag = request.tag;
+    victim->rep->add(request.cache);
     victim->valid = true;
     victim->lastUse = useClock;
 
-    result.inserted = true;
-    result.attempts = 1;
+    out.inserted = true;
+    out.attempts = 1;
     ++statistics.insertions;
     statistics.insertionAttempts.add(1);
     statistics.attemptHistogram.add(1);
-    return result;
 }
 
 void
@@ -111,7 +116,7 @@ AssocDirectory::removeSharer(Tag tag, CacheId cache)
         ++statistics.sharerRemovals;
         if (s->rep->remove(cache)) {
             s->valid = false;
-            s->rep.reset();
+            recycleRep(std::move(s->rep));
             --occupied;
             ++statistics.entryFrees;
         }

@@ -38,7 +38,8 @@ class AssocDirectory : public Directory
                    SharerFormat format, HashKind hash,
                    std::uint64_t hash_seed = 1);
 
-    DirAccessResult access(Tag tag, CacheId cache, bool is_write) override;
+    using Directory::access;
+    void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
     std::size_t validEntries() const override { return occupied; }

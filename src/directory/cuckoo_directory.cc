@@ -3,37 +3,18 @@
 #include <cassert>
 #include <sstream>
 
+#include "directory/registry.hh"
+
 namespace cdir {
 
-namespace {
-
-/**
- * Shared hit-path update: writes collect an invalidation vector for the
- * other sharers and leave the writer as sole owner; reads add a sharer.
- */
-void
-updateOnHit(SharerRep &rep, CacheId cache, bool is_write,
-            DirAccessResult &result, DirectoryStats &stats)
-{
-    if (is_write) {
-        DynamicBitset targets;
-        rep.invalidationTargets(targets);
-        if (cache < targets.size() && targets.test(cache))
-            targets.reset(cache);
-        if (targets.any()) {
-            result.hadSharerInvalidations = true;
-            result.sharerInvalidations = std::move(targets);
-            ++stats.writeUpgrades;
-        }
-        rep.clear();
-        rep.add(cache);
-    } else {
-        rep.add(cache);
-        ++stats.sharerAdds;
-    }
-}
-
-} // namespace
+CDIR_REGISTER_DIRECTORY(cuckoo, "Cuckoo",
+                        DirectoryTraits{.usesBucketSlots = true},
+                        [](const DirectoryParams &p) {
+                            return std::make_unique<CuckooDirectory>(
+                                p.numCaches, p.ways, p.sets, p.format,
+                                p.hash, p.maxAttempts, p.hashSeed,
+                                p.bucketSlots, p.stashEntries);
+                        });
 
 CuckooDirectory::CuckooDirectory(std::size_t num_caches, unsigned ways,
                                  std::size_t sets_per_way,
@@ -50,6 +31,9 @@ CuckooDirectory::CuckooDirectory(std::size_t num_caches, unsigned ways,
       stashCapacity(stash_entries)
 {
     stash.reserve(stash_entries);
+    // +1 covers the in-flight rep a give-up insertion holds while the
+    // table and stash are both full.
+    prefillRepPool(fmt, table.capacity() + stash_entries + 1);
 }
 
 CuckooDirectory::StashEntry *
@@ -77,32 +61,32 @@ CuckooDirectory::drainStash()
     }
 }
 
-DirAccessResult
-CuckooDirectory::access(Tag tag, CacheId cache, bool is_write)
+void
+CuckooDirectory::access(const DirRequest &request, DirAccessContext &ctx)
 {
-    DirAccessResult result;
+    DirAccessOutcome &out = ctx.beginOutcome();
     ++statistics.lookups;
 
-    if (Rep *rep = table.find(tag)) {
-        result.hit = true;
+    if (Rep *rep = table.find(request.tag)) {
+        out.hit = true;
         ++statistics.hits;
-        updateOnHit(**rep, cache, is_write, result, statistics);
-        return result;
+        updateEntryOnHit(**rep, request, ctx, out);
+        return;
     }
-    if (StashEntry *entry = findStash(tag)) {
-        result.hit = true;
+    if (StashEntry *entry = findStash(request.tag)) {
+        out.hit = true;
         ++statistics.hits;
-        updateOnHit(*entry->rep, cache, is_write, result, statistics);
-        return result;
+        updateEntryOnHit(*entry->rep, request, ctx, out);
+        return;
     }
 
     // Miss: allocate an entry tracking the requester.
-    Rep rep = makeSharerRep(format, caches);
-    rep->add(cache);
-    auto ins = table.insert(tag, std::move(rep));
+    Rep rep = acquireRep(format);
+    rep->add(request.cache);
+    auto ins = table.insert(request.tag, std::move(rep));
 
-    result.inserted = true;
-    result.attempts = ins.attempts;
+    out.inserted = true;
+    out.attempts = ins.attempts;
     ++statistics.insertions;
     statistics.insertionAttempts.add(ins.attempts);
     statistics.attemptHistogram.add(ins.attempts);
@@ -116,17 +100,16 @@ CuckooDirectory::access(Tag tag, CacheId cache, bool is_write)
                 {ins.discardedTag, std::move(*ins.discardedPayload)});
             ++stashAbsorbs;
         } else {
-            result.insertDiscarded = true;
+            out.insertDiscarded = true;
             ++statistics.insertFailures;
             ++statistics.forcedEvictions;
-            EvictedEntry evicted;
+            EvictedEntry &evicted = ctx.appendEviction(out);
             evicted.tag = ins.discardedTag;
             (*ins.discardedPayload)->invalidationTargets(evicted.targets);
             statistics.forcedBlockInvalidations += evicted.targets.count();
-            result.forcedEvictions.push_back(std::move(evicted));
+            recycleRep(std::move(*ins.discardedPayload));
         }
     }
-    return result;
 }
 
 void
@@ -135,7 +118,7 @@ CuckooDirectory::removeSharer(Tag tag, CacheId cache)
     if (Rep *rep = table.find(tag)) {
         ++statistics.sharerRemovals;
         if ((*rep)->remove(cache)) {
-            table.erase(tag);
+            recycleRep(std::move(table.erase(tag).value()));
             ++statistics.entryFrees;
             // A freed slot is the opportunity to re-home a parked
             // overflow entry.
@@ -146,6 +129,7 @@ CuckooDirectory::removeSharer(Tag tag, CacheId cache)
     if (StashEntry *entry = findStash(tag)) {
         ++statistics.sharerRemovals;
         if (entry->rep->remove(cache)) {
+            recycleRep(std::move(entry->rep));
             if (entry != &stash.back())
                 *entry = std::move(stash.back());
             stash.pop_back();

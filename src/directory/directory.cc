@@ -1,45 +1,97 @@
 #include "directory/directory.hh"
 
-#include "directory/assoc_directory.hh"
-#include "directory/cuckoo_directory.hh"
-#include "directory/duplicate_tag_directory.hh"
-#include "directory/elbow_directory.hh"
-#include "directory/in_cache_directory.hh"
-#include "directory/tagless_directory.hh"
+#include "directory/registry.hh"
 
 namespace cdir {
+
+void
+Directory::accessBatch(std::span<const DirRequest> requests,
+                       DirAccessContext &ctx)
+{
+    // Scalar fallback: organizations that exploit batch locality
+    // (sorting by set, software pipelining) override this.
+    for (const DirRequest &request : requests)
+        access(request, ctx);
+}
+
+DirAccessResult
+Directory::access(Tag tag, CacheId cache, bool is_write)
+{
+    legacyCtx.bind(caches);
+    legacyCtx.reset();
+    access(DirRequest{tag, cache, is_write}, legacyCtx);
+    return legacyCtx.snapshot(0);
+}
+
+std::unique_ptr<SharerRep>
+Directory::acquireRep(SharerFormat format)
+{
+    if (!repPool.empty()) {
+        std::unique_ptr<SharerRep> rep = std::move(repPool.back());
+        repPool.pop_back();
+        rep->clear();
+        return rep;
+    }
+    return makeSharerRep(format, caches);
+}
+
+void
+Directory::recycleRep(std::unique_ptr<SharerRep> rep)
+{
+    if (rep)
+        repPool.push_back(std::move(rep));
+}
+
+void
+Directory::prefillRepPool(SharerFormat format, std::size_t count)
+{
+    repPool.reserve(repPool.size() + count);
+    for (std::size_t i = 0; i < count; ++i)
+        repPool.push_back(makeSharerRep(format, caches));
+}
+
+void
+Directory::updateEntryOnHit(SharerRep &rep, const DirRequest &request,
+                            DirAccessContext &ctx, DirAccessOutcome &out)
+{
+    if (request.isWrite) {
+        DynamicBitset &targets = ctx.sharerTargets(out);
+        rep.invalidationTargets(targets);
+        if (request.cache < targets.size() && targets.test(request.cache))
+            targets.reset(request.cache);
+        if (targets.any()) {
+            out.hadSharerInvalidations = true;
+            ++statistics.writeUpgrades;
+        }
+        rep.clear();
+        rep.add(request.cache);
+    } else {
+        rep.add(request.cache);
+        ++statistics.sharerAdds;
+    }
+}
+
+std::string
+DirectoryParams::resolvedOrganization() const
+{
+    return organization.empty() ? directoryKindName(kind) : organization;
+}
+
+std::size_t
+DirectoryParams::totalEntries() const
+{
+    // traits() throws for an unknown organization, failing fast like
+    // every other registry consumer (makeDirectory, CmpSystem).
+    const bool bucketized = DirectoryRegistry::instance()
+                                .traits(resolvedOrganization())
+                                .usesBucketSlots;
+    return std::size_t{ways} * sets * (bucketized ? bucketSlots : 1);
+}
 
 std::unique_ptr<Directory>
 makeDirectory(const DirectoryParams &p)
 {
-    switch (p.kind) {
-      case DirectoryKind::Cuckoo:
-        return std::make_unique<CuckooDirectory>(
-            p.numCaches, p.ways, p.sets, p.format, p.hash, p.maxAttempts,
-            p.hashSeed, p.bucketSlots, p.stashEntries);
-      case DirectoryKind::Sparse:
-        return std::make_unique<AssocDirectory>(p.numCaches, p.ways, p.sets,
-                                                p.format, HashKind::Modulo);
-      case DirectoryKind::Skewed:
-        return std::make_unique<AssocDirectory>(
-            p.numCaches, p.ways, p.sets, p.format,
-            p.hash == HashKind::Modulo ? HashKind::Skewing : p.hash,
-            p.hashSeed);
-      case DirectoryKind::DuplicateTag:
-        return std::make_unique<DuplicateTagDirectory>(
-            p.numCaches, p.sets, p.trackedCacheAssoc);
-      case DirectoryKind::InCache:
-        return std::make_unique<InCacheDirectory>(p.numCaches, p.ways,
-                                                  p.sets);
-      case DirectoryKind::Tagless:
-        return std::make_unique<TaglessDirectory>(
-            p.numCaches, p.sets, p.taglessBucketBits, 2, p.hashSeed);
-      case DirectoryKind::Elbow:
-        return std::make_unique<ElbowDirectory>(p.numCaches, p.ways,
-                                                p.sets, p.format,
-                                                p.hashSeed);
-    }
-    return nullptr;
+    return DirectoryRegistry::instance().build(p.resolvedOrganization(), p);
 }
 
 std::string

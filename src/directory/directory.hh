@@ -6,7 +6,7 @@
  * The CMP simulator drives slices through three operations that mirror
  * §4.2 of the paper:
  *
- *  - access(tag, cache, is_write): a read or write miss from a private
+ *  - access(request, context): a read or write miss from a private
  *    cache arrives at the home slice. If the tag is present the sharer
  *    set is updated (a write also yields an invalidation vector for the
  *    other sharers). If absent, a new entry is inserted — possibly
@@ -16,8 +16,17 @@
  *    entry empties and becomes reusable when the last sharer leaves.
  *  - probe(tag): lookup without side effects.
  *
+ * Results are recorded into a caller-owned, reusable DirAccessContext
+ * (see access_context.hh); accessBatch() drives a whole span of requests
+ * through one context, which is what the CMP driver does per slice. A
+ * value-returning access(tag, cache, is_write) shim remains for
+ * convenience call sites but allocates and is deprecated for hot paths.
+ *
  * Every organization reports the same statistics, so the Fig. 8-12
- * harnesses can iterate over organizations generically.
+ * harnesses can iterate over organizations generically. Organizations
+ * are constructed through the string-keyed DirectoryRegistry (see
+ * registry.hh); each organization self-registers a builder over
+ * DirectoryParams from its own translation unit.
  */
 
 #ifndef CDIR_DIRECTORY_DIRECTORY_HH
@@ -25,42 +34,18 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/bitset.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "directory/access_context.hh"
 #include "hash/hash_family.hh"
 #include "sharers/sharer_rep.hh"
 
 namespace cdir {
-
-/** A directory entry evicted because of a conflict (forced eviction). */
-struct EvictedEntry
-{
-    Tag tag = 0;
-    /** Caches that must invalidate the block (superset of sharers). */
-    DynamicBitset targets;
-};
-
-/** Outcome of one Directory::access call. */
-struct DirAccessResult
-{
-    bool hit = false;          //!< tag was already tracked
-    bool inserted = false;     //!< a new entry was allocated
-    /**
-     * The insertion procedure gave up (Cuckoo attempt bound) and
-     * discarded an entry; the discarded entry is in forcedEvictions.
-     */
-    bool insertDiscarded = false;
-    unsigned attempts = 0;     //!< insertion attempts (0 on hit)
-    /** Write hit: caches (other than the requester) to invalidate. */
-    bool hadSharerInvalidations = false;
-    DynamicBitset sharerInvalidations;
-    /** Entries evicted to make room (set conflicts / give-up). */
-    std::vector<EvictedEntry> forcedEvictions;
-};
 
 /** Statistics common to all organizations. */
 struct DirectoryStats
@@ -105,11 +90,27 @@ class Directory
     virtual ~Directory() = default;
 
     /**
-     * Handle a read or write miss from @p cache for block @p tag.
-     * See the file comment for semantics.
+     * Handle one read or write miss; append exactly one outcome (plus
+     * any claimed invalidation/eviction storage) to @p ctx. See the
+     * file comment for semantics.
      */
-    virtual DirAccessResult access(Tag tag, CacheId cache,
-                                   bool is_write) = 0;
+    virtual void access(const DirRequest &request,
+                        DirAccessContext &ctx) = 0;
+
+    /**
+     * Handle a span of requests in order, accumulating one outcome per
+     * request into @p ctx. The default implementation is a scalar loop;
+     * organizations may override it to exploit batch locality.
+     */
+    virtual void accessBatch(std::span<const DirRequest> requests,
+                             DirAccessContext &ctx);
+
+    /**
+     * Value-returning convenience shim over the context protocol.
+     * @deprecated Allocates per call — use access(request, ctx) or
+     * accessBatch() on hot paths.
+     */
+    DirAccessResult access(Tag tag, CacheId cache, bool is_write);
 
     /** Private cache @p cache evicted block @p tag. */
     virtual void removeSharer(Tag tag, CacheId cache) = 0;
@@ -132,6 +133,9 @@ class Directory
     /** Human-readable organization name for reports. */
     virtual std::string name() const = 0;
 
+    /** A context correctly bound for this slice. */
+    DirAccessContext makeContext() const { return DirAccessContext(caches); }
+
     /** Fraction of slots in use. */
     double
     occupancy() const
@@ -151,11 +155,46 @@ class Directory
     void resetStats() { statistics.reset(); }
 
   protected:
+    /**
+     * Take a cleared sharer representation, recycling one returned via
+     * recycleRep() when possible so steady-state insertion churn stays
+     * allocation-free.
+     */
+    std::unique_ptr<SharerRep> acquireRep(SharerFormat format);
+
+    /** Return a representation freed by an emptied entry to the pool. */
+    void recycleRep(std::unique_ptr<SharerRep> rep);
+
+    /**
+     * Provision @p count representations up front (hardware reserves
+     * sharer storage for every entry slot); with the pool prefilled to
+     * capacity, acquireRep() never allocates after construction.
+     */
+    void prefillRepPool(SharerFormat format, std::size_t count);
+
+    /**
+     * Shared hit-path update: a write collects an invalidation vector
+     * for the other sharers (claimed from @p ctx) and leaves the writer
+     * as sole owner; a read adds a sharer.
+     */
+    void updateEntryOnHit(SharerRep &rep, const DirRequest &request,
+                          DirAccessContext &ctx, DirAccessOutcome &out);
+
     std::size_t caches;
     DirectoryStats statistics;
+
+  private:
+    std::vector<std::unique_ptr<SharerRep>> repPool;
+    /** Scratch context backing the deprecated value-returning shim. */
+    DirAccessContext legacyCtx;
 };
 
-/** Organization selector for the factory. */
+/**
+ * Organization selector for the deprecated enum factory.
+ * @deprecated New organizations register with DirectoryRegistry by name
+ * and never appear here; the enum survives only as a source-compatible
+ * shim for existing call sites.
+ */
 enum class DirectoryKind
 {
     Cuckoo,
@@ -172,6 +211,12 @@ enum class DirectoryKind
 /** Configuration for building any directory organization. */
 struct DirectoryParams
 {
+    /**
+     * Registry name of the organization to build ("Cuckoo", "Sparse",
+     * ...). When empty, falls back to the deprecated @ref kind enum.
+     */
+    std::string organization;
+    /** @deprecated Enum shim; prefer @ref organization. */
     DirectoryKind kind = DirectoryKind::Cuckoo;
     std::size_t numCaches = 16;
     unsigned ways = 4;            //!< associativity / cuckoo arity
@@ -190,19 +235,20 @@ struct DirectoryParams
     /** Tagless: bits per Bloom-filter bucket row. */
     std::size_t taglessBucketBits = 64;
 
+    /** Organization name these params resolve to (see @ref organization). */
+    std::string resolvedOrganization() const;
+
     /** Total entry capacity implied by the parameters. */
-    std::size_t
-    totalEntries() const
-    {
-        return std::size_t{ways} * sets *
-               (kind == DirectoryKind::Cuckoo ? bucketSlots : 1);
-    }
+    std::size_t totalEntries() const;
 };
 
-/** Build a directory slice for @p params. */
+/**
+ * Build a directory slice for @p params through the DirectoryRegistry.
+ * @throws std::invalid_argument for an unknown organization name.
+ */
 std::unique_ptr<Directory> makeDirectory(const DirectoryParams &params);
 
-/** Printable name of a DirectoryKind. */
+/** Printable name of a DirectoryKind (also its registry key). */
 std::string directoryKindName(DirectoryKind kind);
 
 } // namespace cdir

@@ -4,13 +4,24 @@
 #include <sstream>
 
 #include "common/bit_util.hh"
+#include "directory/registry.hh"
 
 namespace cdir {
+
+CDIR_REGISTER_DIRECTORY(duplicate_tag, "DuplicateTag",
+                        DirectoryTraits{.mirrorsTrackedCaches = true},
+                        [](const DirectoryParams &p) {
+                            return std::make_unique<DuplicateTagDirectory>(
+                                p.numCaches, p.sets, p.trackedCacheAssoc);
+                        });
 
 DuplicateTagDirectory::DuplicateTagDirectory(std::size_t num_caches,
                                              std::size_t num_sets,
                                              unsigned cache_assoc)
-    : Directory(num_caches), sets(num_sets), cacheAssoc(cache_assoc)
+    : Directory(num_caches),
+      sets(num_sets),
+      cacheAssoc(cache_assoc),
+      scratchHolders(num_caches)
 {
     assert(isPowerOfTwo(num_sets));
     assert(cache_assoc >= 1);
@@ -18,16 +29,19 @@ DuplicateTagDirectory::DuplicateTagDirectory(std::size_t num_caches,
     frames.resize(num_sets * num_caches * cache_assoc);
 }
 
-DirAccessResult
-DuplicateTagDirectory::access(Tag tag, CacheId cache, bool is_write)
+void
+DuplicateTagDirectory::access(const DirRequest &request,
+                              DirAccessContext &ctx)
 {
-    DirAccessResult result;
+    DirAccessOutcome &out = ctx.beginOutcome();
     ++statistics.lookups;
     ++useClock;
+    const Tag tag = request.tag;
     const std::size_t set = setIndex(tag);
 
     // Wide associative compare: find every cache holding the tag.
-    DynamicBitset holders(caches);
+    DynamicBitset &holders = scratchHolders;
+    holders.clear();
     for (CacheId c = 0; c < caches; ++c) {
         const Frame *r = region(set, c);
         for (unsigned w = 0; w < cacheAssoc; ++w) {
@@ -39,16 +53,17 @@ DuplicateTagDirectory::access(Tag tag, CacheId cache, bool is_write)
     }
 
     if (holders.any()) {
-        result.hit = true;
+        out.hit = true;
         ++statistics.hits;
     }
 
-    if (is_write) {
-        DynamicBitset targets = holders;
-        if (cache < targets.size() && targets.test(cache))
-            targets.reset(cache);
+    if (request.isWrite) {
+        DynamicBitset &targets = ctx.sharerTargets(out);
+        targets = holders;
+        if (request.cache < targets.size() && targets.test(request.cache))
+            targets.reset(request.cache);
         if (targets.any()) {
-            result.hadSharerInvalidations = true;
+            out.hadSharerInvalidations = true;
             ++statistics.writeUpgrades;
             // The invalidated caches' mirrored tags are cleared: the
             // duplicate tags always reflect the private caches.
@@ -62,14 +77,13 @@ DuplicateTagDirectory::access(Tag tag, CacheId cache, bool is_write)
                     }
                 }
             }
-            result.sharerInvalidations = std::move(targets);
         }
     }
 
     // Mirror the requester's allocation unless it already holds the tag
     // (a write upgrade of a Shared copy).
-    if (!holders.test(cache)) {
-        Frame *r = region(set, cache);
+    if (!holders.test(request.cache)) {
+        Frame *r = region(set, request.cache);
         Frame *dest = nullptr;
         for (unsigned w = 0; w < cacheAssoc; ++w) {
             if (!r[w].valid) {
@@ -83,13 +97,11 @@ DuplicateTagDirectory::access(Tag tag, CacheId cache, bool is_write)
         if (dest->valid) {
             // Only reachable if the caller failed to report the cache's
             // own eviction first; mirror the cache by evicting LRU.
-            EvictedEntry evicted;
+            EvictedEntry &evicted = ctx.appendEviction(out);
             evicted.tag = dest->tag;
-            evicted.targets = DynamicBitset(caches);
-            evicted.targets.set(cache);
+            evicted.targets.set(request.cache);
             ++statistics.forcedEvictions;
             ++statistics.forcedBlockInvalidations;
-            result.forcedEvictions.push_back(std::move(evicted));
             --occupied;
         }
         dest->tag = tag;
@@ -97,19 +109,18 @@ DuplicateTagDirectory::access(Tag tag, CacheId cache, bool is_write)
         dest->lastUse = useClock;
         ++occupied;
 
-        result.attempts = 1;
-        if (!result.hit) {
+        out.attempts = 1;
+        if (!out.hit) {
             // A new tag entered the directory; mirroring an additional
             // cache's copy of an already-tracked tag is a sharer add.
-            result.inserted = true;
+            out.inserted = true;
             ++statistics.insertions;
             statistics.insertionAttempts.add(1);
             statistics.attemptHistogram.add(1);
-        } else if (!is_write) {
+        } else if (!request.isWrite) {
             ++statistics.sharerAdds;
         }
     }
-    return result;
 }
 
 void
@@ -133,7 +144,7 @@ DuplicateTagDirectory::probe(Tag tag, DynamicBitset *sharers) const
     const std::size_t set = setIndex(tag);
     bool found = false;
     if (sharers)
-        *sharers = DynamicBitset(caches);
+        sharers->reinit(caches);
     for (CacheId c = 0; c < caches; ++c) {
         const Frame *r = region(set, c);
         for (unsigned w = 0; w < cacheAssoc; ++w) {

@@ -36,7 +36,8 @@ class DuplicateTagDirectory : public Directory
     DuplicateTagDirectory(std::size_t num_caches, std::size_t sets,
                           unsigned cache_assoc);
 
-    DirAccessResult access(Tag tag, CacheId cache, bool is_write) override;
+    using Directory::access;
+    void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
     std::size_t validEntries() const override { return occupied; }
@@ -75,6 +76,7 @@ class DuplicateTagDirectory : public Directory
     std::vector<Frame> frames; //!< sets x caches x cacheAssoc
     std::size_t occupied = 0;
     std::uint64_t useClock = 0;
+    DynamicBitset scratchHolders; //!< per-access wide-compare result
 };
 
 } // namespace cdir

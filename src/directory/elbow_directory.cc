@@ -3,7 +3,16 @@
 #include <cassert>
 #include <sstream>
 
+#include "directory/registry.hh"
+
 namespace cdir {
+
+CDIR_REGISTER_DIRECTORY(elbow, "Elbow", DirectoryTraits{},
+                        [](const DirectoryParams &p) {
+                            return std::make_unique<ElbowDirectory>(
+                                p.numCaches, p.ways, p.sets, p.format,
+                                p.hashSeed);
+                        });
 
 ElbowDirectory::ElbowDirectory(std::size_t num_caches, unsigned num_ways,
                                std::size_t num_sets, SharerFormat fmt,
@@ -15,7 +24,9 @@ ElbowDirectory::ElbowDirectory(std::size_t num_caches, unsigned num_ways,
       ways(num_ways),
       sets(num_sets),
       slots(std::size_t{num_ways} * num_sets)
-{}
+{
+    prefillRepPool(fmt, slots.size());
+}
 
 ElbowDirectory::Slot *
 ElbowDirectory::findSlot(Tag tag)
@@ -34,41 +45,26 @@ ElbowDirectory::findSlot(Tag tag) const
     return const_cast<ElbowDirectory *>(this)->findSlot(tag);
 }
 
-DirAccessResult
-ElbowDirectory::access(Tag tag, CacheId cache, bool is_write)
+void
+ElbowDirectory::access(const DirRequest &request, DirAccessContext &ctx)
 {
-    DirAccessResult result;
+    DirAccessOutcome &out = ctx.beginOutcome();
     ++statistics.lookups;
     ++useClock;
 
-    if (Slot *s = findSlot(tag)) {
-        result.hit = true;
+    if (Slot *s = findSlot(request.tag)) {
+        out.hit = true;
         ++statistics.hits;
         s->lastUse = useClock;
-        if (is_write) {
-            DynamicBitset targets;
-            s->rep->invalidationTargets(targets);
-            if (cache < targets.size() && targets.test(cache))
-                targets.reset(cache);
-            if (targets.any()) {
-                result.hadSharerInvalidations = true;
-                result.sharerInvalidations = std::move(targets);
-                ++statistics.writeUpgrades;
-            }
-            s->rep->clear();
-            s->rep->add(cache);
-        } else {
-            s->rep->add(cache);
-            ++statistics.sharerAdds;
-        }
-        return result;
+        updateEntryOnHit(*s->rep, request, ctx, out);
+        return;
     }
 
     // Miss: take a vacant candidate if one exists.
     Slot *dest = nullptr;
     unsigned attempts = 1;
     for (unsigned w = 0; w < ways; ++w) {
-        Slot &s = slot(w, family->index(w, tag));
+        Slot &s = slot(w, family->index(w, request.tag));
         if (!s.valid) {
             dest = &s;
             break;
@@ -80,7 +76,7 @@ ElbowDirectory::access(Tag tag, CacheId cache, bool is_write)
         // alternate slot in another way is vacant (requires the extra
         // candidate lookups the paper charges this design for).
         for (unsigned w = 0; w < ways && dest == nullptr; ++w) {
-            Slot &occupant = slot(w, family->index(w, tag));
+            Slot &occupant = slot(w, family->index(w, request.tag));
             for (unsigned alt = 0; alt < ways; ++alt) {
                 if (alt == w)
                     continue;
@@ -89,7 +85,6 @@ ElbowDirectory::access(Tag tag, CacheId cache, bool is_write)
                 if (!target.valid) {
                     target = std::move(occupant);
                     occupant.valid = false;
-                    occupant.rep.reset();
                     dest = &occupant;
                     ++relocated;
                     attempts = 2; // the relocation write
@@ -103,36 +98,35 @@ ElbowDirectory::access(Tag tag, CacheId cache, bool is_write)
         // No single-hop relocation possible: evict the LRU candidate.
         Slot *victim = nullptr;
         for (unsigned w = 0; w < ways; ++w) {
-            Slot &s = slot(w, family->index(w, tag));
+            Slot &s = slot(w, family->index(w, request.tag));
             if (victim == nullptr || s.lastUse < victim->lastUse)
                 victim = &s;
         }
         assert(victim != nullptr && victim->valid);
-        EvictedEntry evicted;
+        EvictedEntry &evicted = ctx.appendEviction(out);
         evicted.tag = victim->tag;
         victim->rep->invalidationTargets(evicted.targets);
         ++statistics.forcedEvictions;
         statistics.forcedBlockInvalidations += evicted.targets.count();
-        result.forcedEvictions.push_back(std::move(evicted));
         victim->valid = false;
-        victim->rep.reset();
+        victim->rep->clear(); // reuse the evicted entry's rep in place
         --occupied;
         dest = victim;
     }
 
-    dest->tag = tag;
-    dest->rep = makeSharerRep(format, caches);
-    dest->rep->add(cache);
+    dest->tag = request.tag;
+    if (!dest->rep)
+        dest->rep = acquireRep(format);
+    dest->rep->add(request.cache);
     dest->valid = true;
     dest->lastUse = useClock;
     ++occupied;
 
-    result.inserted = true;
-    result.attempts = attempts;
+    out.inserted = true;
+    out.attempts = attempts;
     ++statistics.insertions;
     statistics.insertionAttempts.add(attempts);
     statistics.attemptHistogram.add(attempts);
-    return result;
 }
 
 void
@@ -142,7 +136,7 @@ ElbowDirectory::removeSharer(Tag tag, CacheId cache)
         ++statistics.sharerRemovals;
         if (s->rep->remove(cache)) {
             s->valid = false;
-            s->rep.reset();
+            recycleRep(std::move(s->rep));
             --occupied;
             ++statistics.entryFrees;
         }

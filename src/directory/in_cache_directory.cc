@@ -1,0 +1,13 @@
+#include "directory/in_cache_directory.hh"
+
+#include "directory/registry.hh"
+
+namespace cdir {
+
+CDIR_REGISTER_DIRECTORY(in_cache, "InCache", DirectoryTraits{},
+                        [](const DirectoryParams &p) {
+                            return std::make_unique<InCacheDirectory>(
+                                p.numCaches, p.ways, p.sets);
+                        });
+
+} // namespace cdir

@@ -1,0 +1,74 @@
+#include "directory/registry.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cdir {
+
+DirectoryRegistry &
+DirectoryRegistry::instance()
+{
+    // Meyers singleton: safe to use from other TUs' static initializers
+    // (the registrars), which is how organizations self-register.
+    static DirectoryRegistry registry;
+    return registry;
+}
+
+void
+DirectoryRegistry::registerOrganization(std::string name,
+                                        DirectoryTraits traits,
+                                        Builder builder)
+{
+    auto [it, inserted] = organizations.emplace(
+        std::move(name), Entry{traits, std::move(builder)});
+    if (!inserted) {
+        throw std::logic_error("directory organization '" + it->first +
+                               "' registered twice");
+    }
+}
+
+const DirectoryRegistry::Entry &
+DirectoryRegistry::lookup(std::string_view name) const
+{
+    auto it = organizations.find(name);
+    if (it == organizations.end()) {
+        std::ostringstream os;
+        os << "unknown directory organization '" << name
+           << "'; known organizations:";
+        for (const auto &[known, entry] : organizations)
+            os << " " << known;
+        throw std::invalid_argument(os.str());
+    }
+    return it->second;
+}
+
+std::unique_ptr<Directory>
+DirectoryRegistry::build(std::string_view name,
+                         const DirectoryParams &params) const
+{
+    return lookup(name).builder(params);
+}
+
+const DirectoryTraits &
+DirectoryRegistry::traits(std::string_view name) const
+{
+    return lookup(name).traits;
+}
+
+bool
+DirectoryRegistry::contains(std::string_view name) const
+{
+    return organizations.find(name) != organizations.end();
+}
+
+std::vector<std::string>
+DirectoryRegistry::names() const
+{
+    std::vector<std::string> result;
+    result.reserve(organizations.size());
+    for (const auto &[name, entry] : organizations)
+        result.push_back(name);
+    return result;
+}
+
+} // namespace cdir

@@ -1,13 +1,135 @@
 #include "directory/tagless_directory.hh"
 
+#include <bit>
 #include <cassert>
 #include <sstream>
+#include <utility>
 
 #include "common/bit_util.hh"
 #include "common/rng.hh"
+#include "directory/registry.hh"
 #include "hash/strong_hash.hh"
 
 namespace cdir {
+
+CDIR_REGISTER_DIRECTORY(tagless, "Tagless",
+                        DirectoryTraits{.mirrorsTrackedCaches = true},
+                        [](const DirectoryParams &p) {
+                            return std::make_unique<TaglessDirectory>(
+                                p.numCaches, p.sets, p.taglessBucketBits,
+                                2, p.hashSeed);
+                        });
+
+// --- TagSharerMap ----------------------------------------------------------
+
+TagSharerMap::TagSharerMap(std::size_t num_caches,
+                           std::size_t initial_capacity)
+    : caches(num_caches)
+{
+    const std::size_t cap =
+        std::bit_ceil(initial_capacity < 16 ? 16 : initial_capacity);
+    slots.resize(cap);
+    // Provision every slot's bitset storage up front so inserting into
+    // a never-used slot does not allocate.
+    for (Slot &s : slots)
+        s.sharers.reinit(caches);
+    mask = cap - 1;
+}
+
+std::size_t
+TagSharerMap::home(Tag tag) const
+{
+    return static_cast<std::size_t>(
+               StrongHashFamily::mix(tag + 0x9e3779b97f4a7c15ULL)) &
+           mask;
+}
+
+DynamicBitset *
+TagSharerMap::find(Tag tag)
+{
+    for (std::size_t i = home(tag); slots[i].occupied; i = (i + 1) & mask) {
+        if (slots[i].tag == tag)
+            return &slots[i].sharers;
+    }
+    return nullptr;
+}
+
+const DynamicBitset *
+TagSharerMap::find(Tag tag) const
+{
+    return const_cast<TagSharerMap *>(this)->find(tag);
+}
+
+DynamicBitset &
+TagSharerMap::insert(Tag tag)
+{
+    assert(find(tag) == nullptr && "duplicate insert");
+    // Grow at 70% load; only then does the table allocate.
+    if ((used + 1) * 10 >= slots.size() * 7)
+        grow();
+    std::size_t i = home(tag);
+    while (slots[i].occupied)
+        i = (i + 1) & mask;
+    slots[i].tag = tag;
+    slots[i].occupied = true;
+    slots[i].sharers.reinit(caches);
+    ++used;
+    return slots[i].sharers;
+}
+
+void
+TagSharerMap::erase(Tag tag)
+{
+    std::size_t i = home(tag);
+    while (true) {
+        if (!slots[i].occupied)
+            return; // absent
+        if (slots[i].tag == tag)
+            break;
+        i = (i + 1) & mask;
+    }
+    slots[i].occupied = false;
+    --used;
+    // Backward-shift deletion: close the probe chain without
+    // tombstones. Swapping the bitsets keeps their word storage
+    // circulating among the slots, so no allocation ever happens here.
+    std::size_t j = i;
+    while (true) {
+        j = (j + 1) & mask;
+        if (!slots[j].occupied)
+            return;
+        const std::size_t h = home(slots[j].tag);
+        if (((j - h) & mask) >= ((j - i) & mask)) {
+            slots[i].tag = slots[j].tag;
+            std::swap(slots[i].sharers, slots[j].sharers);
+            slots[i].occupied = true;
+            slots[j].occupied = false;
+            i = j;
+        }
+    }
+}
+
+void
+TagSharerMap::grow()
+{
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(old.size() * 2, Slot{});
+    for (Slot &s : slots)
+        s.sharers.reinit(caches);
+    mask = slots.size() - 1;
+    for (Slot &s : old) {
+        if (!s.occupied)
+            continue;
+        std::size_t i = home(s.tag);
+        while (slots[i].occupied)
+            i = (i + 1) & mask;
+        slots[i].tag = s.tag;
+        slots[i].occupied = true;
+        std::swap(slots[i].sharers, s.sharers);
+    }
+}
+
+// --- TaglessDirectory ------------------------------------------------------
 
 TaglessDirectory::TaglessDirectory(std::size_t num_caches,
                                    std::size_t num_sets,
@@ -16,7 +138,9 @@ TaglessDirectory::TaglessDirectory(std::size_t num_caches,
     : Directory(num_caches),
       sets(num_sets),
       bucketBits(bucket_bits),
-      grids(num_grids)
+      grids(num_grids),
+      shadow(num_caches),
+      scratchHolders(num_caches)
 {
     assert(isPowerOfTwo(num_sets));
     assert(isPowerOfTwo(bucket_bits));
@@ -86,41 +210,44 @@ TaglessDirectory::filterRemove(Tag tag, CacheId cache)
     }
 }
 
-DirAccessResult
-TaglessDirectory::access(Tag tag, CacheId cache, bool is_write)
+void
+TaglessDirectory::access(const DirRequest &request, DirAccessContext &ctx)
 {
-    DirAccessResult result;
+    DirAccessOutcome &out = ctx.beginOutcome();
     ++statistics.lookups;
+    const Tag tag = request.tag;
+    const CacheId cache = request.cache;
 
-    auto shadow_it = shadow.find(tag);
-    const bool tracked = shadow_it != shadow.end();
+    DynamicBitset *truth = shadow.find(tag);
+    const bool tracked = truth != nullptr;
 
     // Filter column read: superset of sharers.
-    DynamicBitset filter_holders(caches);
+    DynamicBitset &filter_holders = scratchHolders;
+    filter_holders.clear();
     for (CacheId c = 0; c < caches; ++c)
         if (filterMatch(tag, c))
             filter_holders.set(c);
 
     if (tracked) {
-        result.hit = true;
+        out.hit = true;
         ++statistics.hits;
     }
 
-    if (is_write) {
-        DynamicBitset targets = filter_holders;
+    if (request.isWrite) {
+        DynamicBitset &targets = ctx.sharerTargets(out);
+        targets = filter_holders;
         if (cache < targets.size() && targets.test(cache))
             targets.reset(cache);
         if (targets.any()) {
-            result.hadSharerInvalidations = true;
+            out.hadSharerInvalidations = true;
             ++statistics.writeUpgrades;
             // Acks reveal the true holders; clear their filter state.
             if (tracked) {
-                DynamicBitset &truth = shadow_it->second;
                 for (std::size_t c = targets.findFirst();
                      c < targets.size(); c = targets.findNext(c)) {
-                    if (truth.test(c)) {
+                    if (truth->test(c)) {
                         filterRemove(tag, static_cast<CacheId>(c));
-                        truth.reset(c);
+                        truth->reset(c);
                     } else {
                         ++spurious;
                     }
@@ -128,48 +255,43 @@ TaglessDirectory::access(Tag tag, CacheId cache, bool is_write)
             } else {
                 spurious += targets.count();
             }
-            result.sharerInvalidations = std::move(targets);
         }
     }
 
     // Track the requester's allocation unless it already holds the tag.
-    const bool requester_holds =
-        tracked && shadow_it->second.test(cache);
+    const bool requester_holds = tracked && truth->test(cache);
     if (!requester_holds) {
-        if (!tracked) {
-            shadow_it =
-                shadow.emplace(tag, DynamicBitset(caches)).first;
-        }
-        shadow_it->second.set(cache);
+        if (!tracked)
+            truth = &shadow.insert(tag);
+        truth->set(cache);
         filterAdd(tag, cache);
-        result.attempts = 1;
+        out.attempts = 1;
         if (!tracked) {
             // New tag; adding a cache to a tracked tag is a sharer add.
-            result.inserted = true;
+            out.inserted = true;
             ++statistics.insertions;
             statistics.insertionAttempts.add(1);
             statistics.attemptHistogram.add(1);
-        } else if (!is_write) {
+        } else if (!request.isWrite) {
             ++statistics.sharerAdds;
         }
     }
     // An emptied entry disappears from the shadow map.
-    if (shadow_it != shadow.end() && shadow_it->second.none())
-        shadow.erase(shadow_it);
-    return result;
+    if (truth != nullptr && truth->none())
+        shadow.erase(tag);
 }
 
 void
 TaglessDirectory::removeSharer(Tag tag, CacheId cache)
 {
-    auto it = shadow.find(tag);
-    if (it == shadow.end() || !it->second.test(cache))
+    DynamicBitset *truth = shadow.find(tag);
+    if (truth == nullptr || !truth->test(cache))
         return;
     ++statistics.sharerRemovals;
     filterRemove(tag, cache);
-    it->second.reset(cache);
-    if (it->second.none()) {
-        shadow.erase(it);
+    truth->reset(cache);
+    if (truth->none()) {
+        shadow.erase(tag);
         ++statistics.entryFrees;
     }
 }
@@ -178,7 +300,7 @@ bool
 TaglessDirectory::probe(Tag tag, DynamicBitset *sharers) const
 {
     if (sharers) {
-        *sharers = DynamicBitset(caches);
+        sharers->reinit(caches);
         for (CacheId c = 0; c < caches; ++c)
             if (filterMatch(tag, c))
                 sharers->set(c);

@@ -20,17 +20,72 @@
  *    only to keep the counters consistent. Reported invalidation
  *    targets always come from the (imprecise) filters, and the spurious
  *    extra targets are counted in spuriousInvalidations().
+ *  - The shadow map is open-addressed with backward-shift deletion so
+ *    steady-state insert/erase churn reuses slot storage instead of
+ *    allocating map nodes (the allocation-free protocol contract).
  */
 
 #ifndef CDIR_DIRECTORY_TAGLESS_DIRECTORY_HH
 #define CDIR_DIRECTORY_TAGLESS_DIRECTORY_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "directory/directory.hh"
 
 namespace cdir {
+
+/**
+ * Open-addressed Tag -> DynamicBitset map with linear probing and
+ * backward-shift deletion (no tombstones). Erasing swaps bitset storage
+ * instead of destroying it, so once the table has grown to its
+ * high-water size, insert/erase churn performs no heap allocation.
+ */
+class TagSharerMap
+{
+  public:
+    /**
+     * @param num_caches       bit width of every stored sharer set.
+     * @param initial_capacity starting slot count (rounded to a power
+     *                         of two; the table grows at 70% load).
+     */
+    explicit TagSharerMap(std::size_t num_caches,
+                          std::size_t initial_capacity = 64);
+
+    /** Sharer set for @p tag, or nullptr if absent. */
+    DynamicBitset *find(Tag tag);
+    const DynamicBitset *find(Tag tag) const;
+
+    /**
+     * Insert @p tag (must be absent) and return its cleared sharer set,
+     * sized to the cache count.
+     */
+    DynamicBitset &insert(Tag tag);
+
+    /** Remove @p tag if present. */
+    void erase(Tag tag);
+
+    /** Tracked tags. */
+    std::size_t size() const { return used; }
+
+    /** True iff @p tag is tracked. */
+    bool contains(Tag tag) const { return find(tag) != nullptr; }
+
+  private:
+    struct Slot
+    {
+        Tag tag = 0;
+        bool occupied = false;
+        DynamicBitset sharers;
+    };
+
+    std::size_t home(Tag tag) const;
+    void grow();
+
+    std::size_t caches;
+    std::size_t used = 0;
+    std::size_t mask;
+    std::vector<Slot> slots;
+};
 
 /** Tagless (Bloom-filter grid) directory slice (see file comment). */
 class TaglessDirectory : public Directory
@@ -47,7 +102,8 @@ class TaglessDirectory : public Directory
                      std::size_t bucket_bits = 64, unsigned num_grids = 2,
                      std::uint64_t seed = 1);
 
-    DirAccessResult access(Tag tag, CacheId cache, bool is_write) override;
+    using Directory::access;
+    void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
     std::size_t validEntries() const override { return shadow.size(); }
@@ -79,7 +135,8 @@ class TaglessDirectory : public Directory
     /** counters[grid][set][cache][bucket], flattened. */
     std::vector<std::uint16_t> counters;
     /** Exact sharers, modeling invalidation-ack knowledge. */
-    std::unordered_map<Tag, DynamicBitset> shadow;
+    TagSharerMap shadow;
+    DynamicBitset scratchHolders; //!< per-access filter column read
     std::uint64_t spurious = 0;
 };
 

@@ -83,7 +83,7 @@ CoarseVectorRep::mightContain(CacheId cache) const
 void
 CoarseVectorRep::invalidationTargets(DynamicBitset &out) const
 {
-    out = DynamicBitset(numCaches);
+    out.reinit(numCaches);
     if (!coarse) {
         for (CacheId p : pointers)
             out.set(p);

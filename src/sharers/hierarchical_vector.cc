@@ -17,7 +17,11 @@ HierarchicalVectorRep::HierarchicalVectorRep(std::size_t num_caches,
     cachesPerCluster = cluster_size;
     numClusters = (num_caches + cluster_size - 1) / cluster_size;
     root = DynamicBitset(numClusters);
-    leaves.assign(numClusters, DynamicBitset());
+    // Sub-vector storage is provisioned up front and only *logically*
+    // allocated/freed via the root bits: the storage-bit accounting in
+    // storageBits() still charges only live sub-vectors, but add/remove
+    // never touch the heap (allocation-free protocol contract).
+    leaves.assign(numClusters, DynamicBitset(cachesPerCluster));
     leafCounts.assign(numClusters, 0);
 }
 
@@ -26,10 +30,7 @@ HierarchicalVectorRep::add(CacheId cache)
 {
     assert(cache < numCaches);
     const std::size_t cl = cluster(cache);
-    if (!root.test(cl)) {
-        root.set(cl);
-        leaves[cl] = DynamicBitset(cachesPerCluster);
-    }
+    root.set(cl);
     const std::size_t within = cache % cachesPerCluster;
     if (!leaves[cl].test(within)) {
         leaves[cl].set(within);
@@ -48,10 +49,8 @@ HierarchicalVectorRep::remove(CacheId cache)
         leaves[cl].reset(within);
         --leafCounts[cl];
         --sharers;
-        if (leafCounts[cl] == 0) {
-            root.reset(cl);
-            leaves[cl] = DynamicBitset(); // deallocate the sub-vector
-        }
+        if (leafCounts[cl] == 0)
+            root.reset(cl); // the sub-vector is logically freed
     }
     return sharers == 0;
 }
@@ -68,7 +67,7 @@ HierarchicalVectorRep::mightContain(CacheId cache) const
 void
 HierarchicalVectorRep::invalidationTargets(DynamicBitset &out) const
 {
-    out = DynamicBitset(numCaches);
+    out.reinit(numCaches);
     for (std::size_t cl = root.findFirst(); cl < root.size();
          cl = root.findNext(cl)) {
         const auto &leaf = leaves[cl];
@@ -97,7 +96,7 @@ HierarchicalVectorRep::clear()
 {
     root.clear();
     for (auto &leaf : leaves)
-        leaf = DynamicBitset();
+        leaf.clear();
     leafCounts.assign(numClusters, 0);
     sharers = 0;
 }

@@ -1,8 +1,10 @@
 #include "sim/cmp_system.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/bit_util.hh"
+#include "directory/registry.hh"
 
 namespace cdir {
 
@@ -26,6 +28,7 @@ CmpConfig::paperConfig(CmpConfigKind kind, std::size_t cores)
 CmpSystem::CmpSystem(const CmpConfig &config) : cfg(config)
 {
     assert(isPowerOfTwo(cfg.numSlices));
+    assert(cfg.batchWindow >= 1);
     sliceMask = cfg.numSlices - 1;
     sliceShift = floorLog2(cfg.numSlices);
 
@@ -37,17 +40,29 @@ CmpSystem::CmpSystem(const CmpConfig &config) : cfg(config)
     DirectoryParams dir = cfg.directory;
     dir.numCaches = n_caches;
     dir.trackedCacheAssoc = cfg.privateCache.assoc;
-    if (dir.kind == DirectoryKind::DuplicateTag ||
-        dir.kind == DirectoryKind::Tagless) {
+    const std::string organization = dir.resolvedOrganization();
+    if (DirectoryRegistry::instance()
+            .traits(organization)
+            .mirrorsTrackedCaches) {
         // These organizations mirror the tracked caches' sets; a slice
         // covers cacheSets / numSlices of them (Fig. 3).
         assert(cfg.privateCache.numSets >= cfg.numSlices);
         dir.sets = cfg.privateCache.numSets / cfg.numSlices;
     }
     slices.reserve(cfg.numSlices);
+    queues.resize(cfg.numSlices);
+    dirtySlices.reserve(cfg.numSlices);
+    contexts.reserve(cfg.numSlices);
     for (std::size_t s = 0; s < cfg.numSlices; ++s) {
         dir.hashSeed = cfg.directory.hashSeed + s;
         slices.push_back(makeDirectory(dir));
+        contexts.emplace_back(n_caches);
+        // A window stages at most batchWindow requests and removals per
+        // slice; reserving that bound keeps the steady-state loop free
+        // of heap traffic.
+        contexts.back().reserve(cfg.batchWindow);
+        queues[s].removals.reserve(cfg.batchWindow);
+        queues[s].requests.reserve(cfg.batchWindow);
     }
 }
 
@@ -62,7 +77,7 @@ CmpSystem::cacheIdFor(CoreId core, bool instruction) const
 }
 
 void
-CmpSystem::access(const MemAccess &mem)
+CmpSystem::stage(const MemAccess &mem)
 {
     assert(mem.core < cfg.numCores);
     const CacheId cache_id = cacheIdFor(mem.core, mem.instruction);
@@ -79,65 +94,148 @@ CmpSystem::access(const MemAccess &mem)
             // MSI upgrade: the block may be shared elsewhere; the home
             // directory invalidates the other copies.
             ++counters.writeUpgrades;
-            DirAccessResult dres =
-                slices[home]->access(tag, cache_id, true);
-            handleDirectoryResult(dres, mem.addr, home, cache_id);
+            markDirty(home);
+            queues[home].requests.push_back(
+                DirRequest{tag, cache_id, true});
         }
         return;
     }
 
     ++counters.cacheMisses;
 
-    // The cache's eviction reaches the directory first (it is what keeps
-    // Duplicate-Tag slices exactly mirroring the caches).
+    // The cache's eviction reaches the directory before this miss's
+    // request (it is what keeps Duplicate-Tag slices exactly mirroring
+    // the caches); beforeRequest records its position in the slice's
+    // replay order.
     if (res.victim) {
         ++counters.cacheEvictions;
         const BlockAddr victim = *res.victim;
-        slices[sliceOf(victim)]->removeSharer(tagOf(victim), cache_id);
+        const std::size_t victim_home = sliceOf(victim);
+        markDirty(victim_home);
+        SliceQueue &victim_queue = queues[victim_home];
+        victim_queue.removals.push_back(StagedRemoval{
+            static_cast<std::uint32_t>(victim_queue.requests.size()),
+            tagOf(victim), cache_id});
     }
 
-    DirAccessResult dres = slices[home]->access(tag, cache_id, mem.write);
-    handleDirectoryResult(dres, mem.addr, home, cache_id);
+    markDirty(home);
+    queues[home].requests.push_back(DirRequest{tag, cache_id, mem.write});
 }
 
 void
-CmpSystem::handleDirectoryResult(const DirAccessResult &result,
-                                 BlockAddr addr, std::size_t slice,
-                                 CacheId requester)
+CmpSystem::markDirty(std::size_t slice)
 {
-    // Writes invalidate the other sharers' cached copies. The directory
-    // already updated its own sharer state; caches are invalidated
-    // silently (no removeSharer echo).
-    if (result.hadSharerInvalidations) {
-        const DynamicBitset &targets = result.sharerInvalidations;
-        for (std::size_t c = targets.findFirst(); c < targets.size();
-             c = targets.findNext(c)) {
-            if (c == requester)
-                continue;
-            if (caches[c]->invalidate(addr))
-                ++counters.sharingInvalidations;
-        }
+    if (!queues[slice].dirty) {
+        queues[slice].dirty = true;
+        dirtySlices.push_back(static_cast<std::uint32_t>(slice));
     }
+}
 
-    // Forced evictions (set conflicts / Cuckoo give-up): the evicted
-    // entries' blocks must leave the private caches to keep the
-    // directory precise (§3.2).
-    for (const EvictedEntry &evicted : result.forcedEvictions) {
-        const BlockAddr block = addrOf(evicted.tag, slice);
-        for (std::size_t c = evicted.targets.findFirst();
-             c < evicted.targets.size();
-             c = evicted.targets.findNext(c)) {
-            if (caches[c]->invalidate(block))
-                ++counters.forcedInvalidations;
+void
+CmpSystem::flush()
+{
+    for (const std::uint32_t s : dirtySlices) {
+        SliceQueue &queue = queues[s];
+        queue.dirty = false;
+        // Replay the slice's operations in exact staging order: each
+        // removal splits the requests into contiguous runs, and every
+        // run between two removals goes through accessBatch at once.
+        std::size_t next_request = 0;
+        for (const StagedRemoval &removal : queue.removals) {
+            if (removal.beforeRequest > next_request) {
+                runRequestSpan(
+                    s, std::span<const DirRequest>(
+                           queue.requests.data() + next_request,
+                           removal.beforeRequest - next_request));
+                next_request = removal.beforeRequest;
+            }
+            slices[s]->removeSharer(removal.tag, removal.cache);
+        }
+        if (next_request < queue.requests.size()) {
+            runRequestSpan(s, std::span<const DirRequest>(
+                                  queue.requests.data() + next_request,
+                                  queue.requests.size() - next_request));
+        }
+        queue.removals.clear();
+        queue.requests.clear();
+    }
+    dirtySlices.clear();
+}
+
+void
+CmpSystem::runRequestSpan(std::size_t slice,
+                          std::span<const DirRequest> requests)
+{
+    if (requests.empty())
+        return;
+    DirAccessContext &ctx = contexts[slice];
+    ctx.reset();
+    slices[slice]->accessBatch(requests, ctx);
+    applyDirectoryOutcomes(slice, requests, ctx);
+}
+
+void
+CmpSystem::applyDirectoryOutcomes(std::size_t slice,
+                                  std::span<const DirRequest> requests,
+                                  const DirAccessContext &ctx)
+{
+    assert(ctx.size() == requests.size() &&
+           "every request must yield exactly one outcome");
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+        const DirAccessOutcome &out = ctx.outcome(i);
+        const DirRequest &req = requests[i];
+
+        // Writes invalidate the other sharers' cached copies. The
+        // directory already updated its own sharer state; caches are
+        // invalidated silently (no removeSharer echo).
+        if (out.hadSharerInvalidations) {
+            const BlockAddr addr = addrOf(req.tag, slice);
+            const DynamicBitset &targets = ctx.sharerInvalidations(out);
+            for (std::size_t c = targets.findFirst(); c < targets.size();
+                 c = targets.findNext(c)) {
+                if (c == req.cache)
+                    continue;
+                if (caches[c]->invalidate(addr))
+                    ++counters.sharingInvalidations;
+            }
+        }
+
+        // Forced evictions (set conflicts / Cuckoo give-up): the evicted
+        // entries' blocks must leave the private caches to keep the
+        // directory precise (§3.2).
+        for (std::size_t e = 0; e < out.evictionCount; ++e) {
+            const EvictedEntry &evicted = ctx.forcedEviction(out, e);
+            const BlockAddr block = addrOf(evicted.tag, slice);
+            for (std::size_t c = evicted.targets.findFirst();
+                 c < evicted.targets.size();
+                 c = evicted.targets.findNext(c)) {
+                if (caches[c]->invalidate(block))
+                    ++counters.forcedInvalidations;
+            }
         }
     }
+}
+
+void
+CmpSystem::access(const MemAccess &mem)
+{
+    stage(mem);
+    flush();
 }
 
 void
 CmpSystem::run(SyntheticWorkload &workload, std::uint64_t count)
 {
-    for (std::uint64_t i = 0; i < count; ++i)
-        access(workload.next());
+    const std::size_t window = std::max<std::size_t>(cfg.batchWindow, 1);
+    std::size_t staged = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        stage(workload.next());
+        if (++staged == window) {
+            flush();
+            staged = 0;
+        }
+    }
+    flush();
 }
 
 void
@@ -145,24 +243,43 @@ CmpSystem::run(SyntheticWorkload &workload, std::uint64_t count,
                std::uint64_t sample_every)
 {
     assert(sample_every > 0);
+    const std::size_t window = std::max<std::size_t>(cfg.batchWindow, 1);
+    std::size_t staged = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
-        access(workload.next());
-        if ((i + 1) % sample_every == 0)
+        stage(workload.next());
+        ++staged;
+        const bool sample_due = (i + 1) % sample_every == 0;
+        if (staged == window || sample_due) {
+            flush();
+            staged = 0;
+        }
+        if (sample_due)
             sampleOccupancy();
     }
+    flush();
 }
 
 std::uint64_t
 CmpSystem::run(AccessSource &source, std::uint64_t count,
                std::uint64_t sample_every)
 {
+    const std::size_t window = std::max<std::size_t>(cfg.batchWindow, 1);
+    std::size_t staged = 0;
     std::uint64_t executed = 0;
     while (executed < count && !source.exhausted()) {
-        access(source.next());
+        stage(source.next());
         ++executed;
-        if (sample_every != 0 && executed % sample_every == 0)
+        ++staged;
+        const bool sample_due =
+            sample_every != 0 && executed % sample_every == 0;
+        if (staged == window || sample_due) {
+            flush();
+            staged = 0;
+        }
+        if (sample_due)
             sampleOccupancy();
     }
+    flush();
     return executed;
 }
 
@@ -226,9 +343,9 @@ CmpSystem::resetStats()
 bool
 CmpSystem::directoryCoversCaches() const
 {
+    DynamicBitset sharers;
     for (std::size_t c = 0; c < caches.size(); ++c) {
         for (BlockAddr addr : caches[c]->residentAddresses()) {
-            DynamicBitset sharers;
             if (!slices[sliceOf(addr)]->probe(tagOf(addr), &sharers))
                 return false;
             if (c < sharers.size() && !sharers.test(c))

@@ -22,6 +22,21 @@
  * Address interleaving: slice = blockAddr mod numSlices; slices operate
  * on slice-local tags (blockAddr / numSlices), so a Duplicate-Tag
  * slice's low tag bits reproduce the private-cache set index (Fig. 3).
+ *
+ * Batched directory protocol: references are staged into per-slice
+ * queues (sharer removals + DirRequests) and flushed through
+ * Directory::accessBatch with one reusable DirAccessContext per slice,
+ * so the steady-state loop performs zero heap allocations. With
+ * CmpConfig::batchWindow == 1 (the default) every reference is flushed
+ * immediately and behaviour is bit-identical to the historical serial
+ * driver; larger windows treat the window's references as concurrent
+ * across slices, while each slice replays its own removals and
+ * accesses in exact staging order (accessBatch is driven over the
+ * maximal request runs between removals, so an eviction staged after
+ * its tag's insertion still retires the sharer). What a larger window
+ * trades away is only the cross-reference feedback through the private
+ * caches (invalidations land at run boundaries instead of between
+ * references).
  */
 
 #ifndef CDIR_SIM_CMP_SYSTEM_HH
@@ -57,6 +72,13 @@ struct CmpConfig
 
     /** Per-slice directory organization. */
     DirectoryParams directory;
+
+    /**
+     * References staged before the per-slice directory queues are
+     * flushed. 1 (default) reproduces the serial driver exactly; larger
+     * windows batch directory accesses per slice (see file comment).
+     */
+    std::size_t batchWindow = 1;
 
     /** Caches per core: 2 (I+D) for SharedL2, 1 for PrivateL2. */
     unsigned
@@ -158,6 +180,26 @@ class CmpSystem
     bool directoryCoversCaches() const;
 
   private:
+    /** A sharer removal staged between two request runs. */
+    struct StagedRemoval
+    {
+        /** Requests staged before this removal (its replay position). */
+        std::uint32_t beforeRequest;
+        Tag tag;
+        CacheId cache;
+    };
+
+    /** Per-slice staged directory work for the current batch window. */
+    struct SliceQueue
+    {
+        /** Removals, interleaved with the requests by beforeRequest. */
+        std::vector<StagedRemoval> removals;
+        /** Miss / upgrade requests driven through accessBatch. */
+        std::vector<DirRequest> requests;
+        /** Whether this slice is on the dirty list. */
+        bool dirty = false;
+    };
+
     CacheId cacheIdFor(CoreId core, bool instruction) const;
     std::size_t sliceOf(BlockAddr addr) const
     {
@@ -169,15 +211,33 @@ class CmpSystem
         return (tag << sliceShift) | slice;
     }
 
-    void handleDirectoryResult(const DirAccessResult &result,
-                               BlockAddr addr, std::size_t slice,
-                               CacheId requester);
+    /** Phase 1: private-cache access; stage directory work per slice. */
+    void stage(const MemAccess &access);
+
+    /** Put @p slice on the dirty list if it is not there yet. */
+    void markDirty(std::size_t slice);
+
+    /** Phases 2+3: drain every slice queue and apply the outcomes. */
+    void flush();
+
+    /** Drive one contiguous request run through the slice's directory. */
+    void runRequestSpan(std::size_t slice,
+                        std::span<const DirRequest> requests);
+
+    /** Apply one request run's batch outcomes to the private caches. */
+    void applyDirectoryOutcomes(std::size_t slice,
+                                std::span<const DirRequest> requests,
+                                const DirAccessContext &ctx);
 
     CmpConfig cfg;
     std::size_t sliceMask;
     unsigned sliceShift;
     std::vector<std::unique_ptr<SetAssocCache>> caches;
     std::vector<std::unique_ptr<Directory>> slices;
+    std::vector<SliceQueue> queues;
+    /** Slices with staged work, in first-touch order. */
+    std::vector<std::uint32_t> dirtySlices;
+    std::vector<DirAccessContext> contexts; //!< one per slice, reused
     CmpStats counters;
 };
 

@@ -34,7 +34,7 @@ cuckooSliceParams(unsigned ways, std::size_t sets_per_way,
                   SharerFormat format, HashKind hash)
 {
     DirectoryParams p;
-    p.kind = DirectoryKind::Cuckoo;
+    p.organization = "Cuckoo";
     p.ways = ways;
     p.sets = sets_per_way;
     p.format = format;
@@ -47,7 +47,7 @@ sparseSliceParams(unsigned ways, std::size_t sets_per_way,
                   SharerFormat format)
 {
     DirectoryParams p;
-    p.kind = DirectoryKind::Sparse;
+    p.organization = "Sparse";
     p.ways = ways;
     p.sets = sets_per_way;
     p.format = format;
@@ -60,7 +60,7 @@ skewedSliceParams(unsigned ways, std::size_t sets_per_way,
                   SharerFormat format)
 {
     DirectoryParams p;
-    p.kind = DirectoryKind::Skewed;
+    p.organization = "Skewed";
     p.ways = ways;
     p.sets = sets_per_way;
     p.format = format;
