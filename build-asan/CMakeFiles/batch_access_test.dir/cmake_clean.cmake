@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_access_test.dir/src/common/alloc_counter.cc.o"
+  "CMakeFiles/batch_access_test.dir/src/common/alloc_counter.cc.o.d"
+  "CMakeFiles/batch_access_test.dir/tests/batch_access_test.cc.o"
+  "CMakeFiles/batch_access_test.dir/tests/batch_access_test.cc.o.d"
+  "batch_access_test"
+  "batch_access_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

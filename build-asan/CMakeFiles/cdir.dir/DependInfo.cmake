@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "CMakeFiles/cdir.dir/src/cache/cache.cc.o" "gcc" "CMakeFiles/cdir.dir/src/cache/cache.cc.o.d"
+  "/root/repo/src/directory/assoc_directory.cc" "CMakeFiles/cdir.dir/src/directory/assoc_directory.cc.o" "gcc" "CMakeFiles/cdir.dir/src/directory/assoc_directory.cc.o.d"
+  "/root/repo/src/directory/cuckoo_directory.cc" "CMakeFiles/cdir.dir/src/directory/cuckoo_directory.cc.o" "gcc" "CMakeFiles/cdir.dir/src/directory/cuckoo_directory.cc.o.d"
+  "/root/repo/src/directory/directory.cc" "CMakeFiles/cdir.dir/src/directory/directory.cc.o" "gcc" "CMakeFiles/cdir.dir/src/directory/directory.cc.o.d"
+  "/root/repo/src/directory/duplicate_tag_directory.cc" "CMakeFiles/cdir.dir/src/directory/duplicate_tag_directory.cc.o" "gcc" "CMakeFiles/cdir.dir/src/directory/duplicate_tag_directory.cc.o.d"
+  "/root/repo/src/directory/elbow_directory.cc" "CMakeFiles/cdir.dir/src/directory/elbow_directory.cc.o" "gcc" "CMakeFiles/cdir.dir/src/directory/elbow_directory.cc.o.d"
+  "/root/repo/src/directory/in_cache_directory.cc" "CMakeFiles/cdir.dir/src/directory/in_cache_directory.cc.o" "gcc" "CMakeFiles/cdir.dir/src/directory/in_cache_directory.cc.o.d"
+  "/root/repo/src/directory/registry.cc" "CMakeFiles/cdir.dir/src/directory/registry.cc.o" "gcc" "CMakeFiles/cdir.dir/src/directory/registry.cc.o.d"
+  "/root/repo/src/directory/tagless_directory.cc" "CMakeFiles/cdir.dir/src/directory/tagless_directory.cc.o" "gcc" "CMakeFiles/cdir.dir/src/directory/tagless_directory.cc.o.d"
+  "/root/repo/src/hash/hash_family.cc" "CMakeFiles/cdir.dir/src/hash/hash_family.cc.o" "gcc" "CMakeFiles/cdir.dir/src/hash/hash_family.cc.o.d"
+  "/root/repo/src/hash/skewing_hash.cc" "CMakeFiles/cdir.dir/src/hash/skewing_hash.cc.o" "gcc" "CMakeFiles/cdir.dir/src/hash/skewing_hash.cc.o.d"
+  "/root/repo/src/hash/strong_hash.cc" "CMakeFiles/cdir.dir/src/hash/strong_hash.cc.o" "gcc" "CMakeFiles/cdir.dir/src/hash/strong_hash.cc.o.d"
+  "/root/repo/src/model/directory_model.cc" "CMakeFiles/cdir.dir/src/model/directory_model.cc.o" "gcc" "CMakeFiles/cdir.dir/src/model/directory_model.cc.o.d"
+  "/root/repo/src/model/sram.cc" "CMakeFiles/cdir.dir/src/model/sram.cc.o" "gcc" "CMakeFiles/cdir.dir/src/model/sram.cc.o.d"
+  "/root/repo/src/sharers/coarse_vector.cc" "CMakeFiles/cdir.dir/src/sharers/coarse_vector.cc.o" "gcc" "CMakeFiles/cdir.dir/src/sharers/coarse_vector.cc.o.d"
+  "/root/repo/src/sharers/full_vector.cc" "CMakeFiles/cdir.dir/src/sharers/full_vector.cc.o" "gcc" "CMakeFiles/cdir.dir/src/sharers/full_vector.cc.o.d"
+  "/root/repo/src/sharers/hierarchical_vector.cc" "CMakeFiles/cdir.dir/src/sharers/hierarchical_vector.cc.o" "gcc" "CMakeFiles/cdir.dir/src/sharers/hierarchical_vector.cc.o.d"
+  "/root/repo/src/sharers/sharer_rep.cc" "CMakeFiles/cdir.dir/src/sharers/sharer_rep.cc.o" "gcc" "CMakeFiles/cdir.dir/src/sharers/sharer_rep.cc.o.d"
+  "/root/repo/src/sim/cmp_system.cc" "CMakeFiles/cdir.dir/src/sim/cmp_system.cc.o" "gcc" "CMakeFiles/cdir.dir/src/sim/cmp_system.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "CMakeFiles/cdir.dir/src/sim/experiment.cc.o" "gcc" "CMakeFiles/cdir.dir/src/sim/experiment.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "CMakeFiles/cdir.dir/src/workload/trace.cc.o" "gcc" "CMakeFiles/cdir.dir/src/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "CMakeFiles/cdir.dir/src/workload/workload.cc.o" "gcc" "CMakeFiles/cdir.dir/src/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

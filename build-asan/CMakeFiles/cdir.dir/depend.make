@@ -1,0 +1,2 @@
+# Empty dependencies file for cdir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuckoo_table_test.dir/tests/cuckoo_table_test.cc.o"
+  "CMakeFiles/cuckoo_table_test.dir/tests/cuckoo_table_test.cc.o.d"
+  "cuckoo_table_test"
+  "cuckoo_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuckoo_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directories_test.dir/tests/directories_test.cc.o"
+  "CMakeFiles/directories_test.dir/tests/directories_test.cc.o.d"
+  "directories_test"
+  "directories_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directories_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

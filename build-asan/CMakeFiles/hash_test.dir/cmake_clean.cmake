@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_test.dir/tests/hash_test.cc.o"
+  "CMakeFiles/hash_test.dir/tests/hash_test.cc.o.d"
+  "hash_test"
+  "hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/tests/model_test.cc.o"
+  "CMakeFiles/model_test.dir/tests/model_test.cc.o.d"
+  "model_test"
+  "model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_claims_test.dir/tests/paper_claims_test.cc.o"
+  "CMakeFiles/paper_claims_test.dir/tests/paper_claims_test.cc.o.d"
+  "paper_claims_test"
+  "paper_claims_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharers_test.dir/tests/sharers_test.cc.o"
+  "CMakeFiles/sharers_test.dir/tests/sharers_test.cc.o.d"
+  "sharers_test"
+  "sharers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extensions.dir/bench/ablation_extensions.cc.o"
+  "CMakeFiles/ablation_extensions.dir/bench/ablation_extensions.cc.o.d"
+  "ablation_extensions"
+  "ablation_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

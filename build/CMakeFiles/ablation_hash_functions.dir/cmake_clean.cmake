@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hash_functions.dir/bench/ablation_hash_functions.cc.o"
+  "CMakeFiles/ablation_hash_functions.dir/bench/ablation_hash_functions.cc.o.d"
+  "ablation_hash_functions"
+  "ablation_hash_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_planner.dir/examples/capacity_planner.cc.o"
+  "CMakeFiles/capacity_planner.dir/examples/capacity_planner.cc.o.d"
+  "capacity_planner"
+  "capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_simulation.dir/examples/cmp_simulation.cc.o"
+  "CMakeFiles/cmp_simulation.dir/examples/cmp_simulation.cc.o.d"
+  "cmp_simulation"
+  "cmp_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

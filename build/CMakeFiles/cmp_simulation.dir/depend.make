@@ -1,0 +1,2 @@
+# Empty dependencies file for cmp_simulation.
+# This may be replaced when dependencies are built.

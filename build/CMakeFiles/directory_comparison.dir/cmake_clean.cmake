@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_comparison.dir/examples/directory_comparison.cc.o"
+  "CMakeFiles/directory_comparison.dir/examples/directory_comparison.cc.o.d"
+  "directory_comparison"
+  "directory_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

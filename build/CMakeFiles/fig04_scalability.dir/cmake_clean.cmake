@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_scalability.dir/bench/fig04_scalability.cc.o"
+  "CMakeFiles/fig04_scalability.dir/bench/fig04_scalability.cc.o.d"
+  "fig04_scalability"
+  "fig04_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_hash_characteristics.dir/bench/fig07_hash_characteristics.cc.o"
+  "CMakeFiles/fig07_hash_characteristics.dir/bench/fig07_hash_characteristics.cc.o.d"
+  "fig07_hash_characteristics"
+  "fig07_hash_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hash_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_hash_characteristics.
+# This may be replaced when dependencies are built.

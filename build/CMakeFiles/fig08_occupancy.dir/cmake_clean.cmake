@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_occupancy.dir/bench/fig08_occupancy.cc.o"
+  "CMakeFiles/fig08_occupancy.dir/bench/fig08_occupancy.cc.o.d"
+  "fig08_occupancy"
+  "fig08_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

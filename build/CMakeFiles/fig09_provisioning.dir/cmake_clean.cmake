@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_provisioning.dir/bench/fig09_provisioning.cc.o"
+  "CMakeFiles/fig09_provisioning.dir/bench/fig09_provisioning.cc.o.d"
+  "fig09_provisioning"
+  "fig09_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

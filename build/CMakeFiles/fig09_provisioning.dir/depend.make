@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_provisioning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_insertion_attempts.dir/bench/fig10_insertion_attempts.cc.o"
+  "CMakeFiles/fig10_insertion_attempts.dir/bench/fig10_insertion_attempts.cc.o.d"
+  "fig10_insertion_attempts"
+  "fig10_insertion_attempts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_insertion_attempts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

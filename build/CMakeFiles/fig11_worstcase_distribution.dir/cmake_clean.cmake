@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_worstcase_distribution.dir/bench/fig11_worstcase_distribution.cc.o"
+  "CMakeFiles/fig11_worstcase_distribution.dir/bench/fig11_worstcase_distribution.cc.o.d"
+  "fig11_worstcase_distribution"
+  "fig11_worstcase_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_worstcase_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

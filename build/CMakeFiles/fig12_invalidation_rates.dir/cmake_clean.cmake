@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_invalidation_rates.dir/bench/fig12_invalidation_rates.cc.o"
+  "CMakeFiles/fig12_invalidation_rates.dir/bench/fig12_invalidation_rates.cc.o.d"
+  "fig12_invalidation_rates"
+  "fig12_invalidation_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_invalidation_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

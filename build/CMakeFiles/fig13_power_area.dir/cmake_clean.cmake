@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_power_area.dir/bench/fig13_power_area.cc.o"
+  "CMakeFiles/fig13_power_area.dir/bench/fig13_power_area.cc.o.d"
+  "fig13_power_area"
+  "fig13_power_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_power_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_directory_ops.cc" "CMakeFiles/micro_directory_ops.dir/bench/micro_directory_ops.cc.o" "gcc" "CMakeFiles/micro_directory_ops.dir/bench/micro_directory_ops.cc.o.d"
+  "/root/repo/src/common/alloc_counter.cc" "CMakeFiles/micro_directory_ops.dir/src/common/alloc_counter.cc.o" "gcc" "CMakeFiles/micro_directory_ops.dir/src/common/alloc_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

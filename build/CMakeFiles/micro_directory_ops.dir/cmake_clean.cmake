@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_directory_ops.dir/bench/micro_directory_ops.cc.o"
+  "CMakeFiles/micro_directory_ops.dir/bench/micro_directory_ops.cc.o.d"
+  "CMakeFiles/micro_directory_ops.dir/src/common/alloc_counter.cc.o"
+  "CMakeFiles/micro_directory_ops.dir/src/common/alloc_counter.cc.o.d"
+  "micro_directory_ops"
+  "micro_directory_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_directory_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

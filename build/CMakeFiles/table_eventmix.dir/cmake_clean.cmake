@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_eventmix.dir/bench/table_eventmix.cc.o"
+  "CMakeFiles/table_eventmix.dir/bench/table_eventmix.cc.o.d"
+  "table_eventmix"
+  "table_eventmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_eventmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
