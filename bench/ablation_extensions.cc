@@ -14,7 +14,9 @@
  *
  * All variants churn random tags at fixed steady-state occupancies and
  * report forced-invalidation rates, plus average attempts for the
- * displacement-based designs.
+ * displacement-based designs. The variant x occupancy grid runs once
+ * through the sweep runner's generic map (each cell owns its directory
+ * and RNG) and feeds both tables.
  */
 
 #include <cstdio>
@@ -26,6 +28,7 @@
 #include "common/stats.hh"
 #include "directory/cuckoo_directory.hh"
 #include "directory/elbow_directory.hh"
+#include "sim/sweep.hh"
 
 using namespace cdir;
 using namespace cdir::bench;
@@ -34,6 +37,9 @@ namespace {
 
 constexpr std::size_t kCaches = 16;
 constexpr std::size_t kEntries = 4096;
+
+const double kOccupancies[] = {0.50, 0.65, 0.80, 0.90};
+constexpr std::size_t kOccPoints = std::size(kOccupancies);
 
 struct Outcome
 {
@@ -70,90 +76,105 @@ churn(Directory &dir, double occupancy, std::uint64_t ops,
             dir.stats().forcedInvalidationRate()};
 }
 
+struct Variant
+{
+    const char *label;
+    std::unique_ptr<Directory> (*make)();
+};
+
+const Variant kVariants[] = {
+    {"Skewed 4w (no displace)",
+     [] {
+         DirectoryParams p;
+         p.organization = "Skewed";
+         p.numCaches = kCaches;
+         p.ways = 4;
+         p.sets = kEntries / 4;
+         return makeDirectory(p);
+     }},
+    {"Elbow 4w (1 displace)",
+     []() -> std::unique_ptr<Directory> {
+         return std::make_unique<ElbowDirectory>(
+             kCaches, 4, kEntries / 4, SharerFormat::FullVector);
+     }},
+    {"Cuckoo 4w",
+     []() -> std::unique_ptr<Directory> {
+         return std::make_unique<CuckooDirectory>(
+             kCaches, 4, kEntries / 4, SharerFormat::FullVector);
+     }},
+    {"Cuckoo 3w",
+     []() -> std::unique_ptr<Directory> {
+         return std::make_unique<CuckooDirectory>(
+             kCaches, 3, kEntries / 4, SharerFormat::FullVector,
+             HashKind::Skewing, 32, 1, 1, 0);
+     }},
+    {"Cuckoo 3w, 2-slot buckets",
+     []() -> std::unique_ptr<Directory> {
+         return std::make_unique<CuckooDirectory>(
+             kCaches, 3, kEntries / 8, SharerFormat::FullVector,
+             HashKind::Skewing, 32, 1, 2, 0);
+     }},
+    {"Cuckoo 4w + 16-entry stash",
+     []() -> std::unique_ptr<Directory> {
+         return std::make_unique<CuckooDirectory>(
+             kCaches, 4, kEntries / 4, SharerFormat::FullVector,
+             HashKind::Skewing, 32, 1, 1, 16);
+     }},
+};
+constexpr std::size_t kVariantCount = std::size(kVariants);
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
     const std::uint64_t ops = flagU64(argc, argv, "ops", 400000);
+    warnFilterUnused(cli);
+    const SweepRunner runner(cli.sweep());
 
-    banner("Extension ablation: forced-invalidation rate vs occupancy "
-           "(occupancy-normalized)");
-    std::printf("%-26s", "organization");
-    const double occupancies[] = {0.50, 0.65, 0.80, 0.90};
-    for (double occ : occupancies)
-        std::printf("  %9.0f%%", occ * 100.0);
-    std::printf("\n");
+    // One cell per (variant, occupancy); both tables read the same run.
+    const auto outcomes = runner.map<Outcome>(
+        kVariantCount * kOccPoints, [ops](std::size_t i) {
+            auto dir = kVariants[i / kOccPoints].make();
+            return churn(*dir, kOccupancies[i % kOccPoints], ops, 77);
+        });
 
-    struct Variant
+    std::vector<std::string> columns{"organization"};
+    for (double occ : kOccupancies) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%.0f%%", occ * 100.0);
+        columns.push_back(buf);
+    }
+
+    Reporter report(cli.format);
+    const struct
     {
-        const char *label;
-        std::unique_ptr<Directory> (*make)();
+        const char *title;
+        bool attempts;
+    } tables[] = {
+        {"Extension ablation: forced-invalidation rate vs occupancy "
+         "(occupancy-normalized)",
+         false},
+        {"Average insertion attempts at the same points", true},
     };
-    const Variant variants[] = {
-        {"Skewed 4w (no displace)",
-         [] {
-             DirectoryParams p;
-             p.organization = "Skewed";
-             p.numCaches = kCaches;
-             p.ways = 4;
-             p.sets = kEntries / 4;
-             return makeDirectory(p);
-         }},
-        {"Elbow 4w (1 displace)",
-         []() -> std::unique_ptr<Directory> {
-             return std::make_unique<ElbowDirectory>(
-                 kCaches, 4, kEntries / 4, SharerFormat::FullVector);
-         }},
-        {"Cuckoo 4w",
-         []() -> std::unique_ptr<Directory> {
-             return std::make_unique<CuckooDirectory>(
-                 kCaches, 4, kEntries / 4, SharerFormat::FullVector);
-         }},
-        {"Cuckoo 3w",
-         []() -> std::unique_ptr<Directory> {
-             return std::make_unique<CuckooDirectory>(
-                 kCaches, 3, kEntries / 4, SharerFormat::FullVector,
-                 HashKind::Skewing, 32, 1, 1, 0);
-         }},
-        {"Cuckoo 3w, 2-slot buckets",
-         []() -> std::unique_ptr<Directory> {
-             return std::make_unique<CuckooDirectory>(
-                 kCaches, 3, kEntries / 8, SharerFormat::FullVector,
-                 HashKind::Skewing, 32, 1, 2, 0);
-         }},
-        {"Cuckoo 4w + 16-entry stash",
-         []() -> std::unique_ptr<Directory> {
-             return std::make_unique<CuckooDirectory>(
-                 kCaches, 4, kEntries / 4, SharerFormat::FullVector,
-                 HashKind::Skewing, 32, 1, 1, 16);
-         }},
-    };
-
-    for (const Variant &v : variants) {
-        std::printf("%-26s", v.label);
-        for (double occ : occupancies) {
-            auto dir = v.make();
-            const auto out = churn(*dir, occ, ops, 77);
-            std::printf("  %10s", pct(out.invalRate).c_str());
+    for (const auto &spec : tables) {
+        ReportTable table(spec.title, columns);
+        for (std::size_t v = 0; v < kVariantCount; ++v) {
+            std::vector<ReportCell> row{cellText(kVariants[v].label)};
+            for (std::size_t o = 0; o < kOccPoints; ++o) {
+                const Outcome &out = outcomes[v * kOccPoints + o];
+                row.push_back(spec.attempts ? cellNum(out.attempts)
+                                            : cellPct(out.invalRate));
+            }
+            table.addRow(std::move(row));
         }
-        std::printf("\n");
+        report.table(table);
     }
 
-    banner("Average insertion attempts at the same points");
-    for (const Variant &v : variants) {
-        std::printf("%-26s", v.label);
-        for (double occ : occupancies) {
-            auto dir = v.make();
-            const auto out = churn(*dir, occ, ops, 77);
-            std::printf("  %10.3f", out.attempts);
-        }
-        std::printf("\n");
-    }
-
-    std::printf("\nPaper (§6): Elbow's single displacement lands between "
+    report.note("Paper (§6): Elbow's single displacement lands between "
                 "plain skewed and Cuckoo; buckets help 3-ary at high "
                 "occupancy; the stash only matters where the paper "
-                "would simply (and harmlessly) invalidate.\n");
+                "would simply (and harmlessly) invalidate.");
     return 0;
 }

@@ -6,7 +6,8 @@
  * levels) against strong mixing functions across provisioning factors,
  * measuring average insertion attempts and insertion failures on a
  * random-tag stream with steady-state occupancy pinned by the
- * provisioning factor.
+ * provisioning factor. The hash-kind x occupancy grid runs through the
+ * sweep runner's generic map.
  *
  * Paper findings to reproduce: at 2x provisioning the strong functions
  * offer no measurable benefit; at aggressive (under-provisioned) sizes
@@ -23,11 +24,16 @@
 #include "common/stats.hh"
 #include "directory/cuckoo_table.hh"
 #include "hash/hash_family.hh"
+#include "sim/sweep.hh"
 
 using namespace cdir;
 using namespace cdir::bench;
 
 namespace {
+
+const double kOccupancies[] = {0.25, 0.50, 0.65, 0.80, 0.90, 0.95};
+constexpr std::size_t kOccPoints = std::size(kOccupancies);
+const HashKind kKinds[] = {HashKind::Skewing, HashKind::Strong};
 
 struct Outcome
 {
@@ -83,22 +89,36 @@ churn(HashKind kind, double occupancy, std::uint64_t ops,
 int
 main(int argc, char **argv)
 {
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
     const std::uint64_t ops = flagU64(argc, argv, "ops", 300000);
+    warnFilterUnused(cli);
+    const SweepRunner runner(cli.sweep());
 
-    banner("Hash-function ablation (4-way Cuckoo, steady-state churn)");
-    std::printf("%-12s  %22s  %22s\n", "", "Skewing (Seznec-Bodin)",
-                "Strong (mixing)");
-    std::printf("%-12s  %10s %11s  %10s %11s\n", "occupancy", "attempts",
-                "failures", "attempts", "failures");
-    for (double occ : {0.25, 0.50, 0.65, 0.80, 0.90, 0.95}) {
-        const auto skew = churn(HashKind::Skewing, occ, ops, 11);
-        const auto strong = churn(HashKind::Strong, occ, ops, 11);
-        std::printf("%10.0f%%  %10.3f %11s  %10.3f %11s\n", occ * 100.0,
-                    skew.avgAttempts, pct(skew.failureRate).c_str(),
-                    strong.avgAttempts, pct(strong.failureRate).c_str());
+    // One cell per (hash kind, occupancy).
+    const auto outcomes = runner.map<Outcome>(
+        2 * kOccPoints, [ops](std::size_t i) {
+            return churn(kKinds[i / kOccPoints],
+                         kOccupancies[i % kOccPoints], ops, 11);
+        });
+
+    ReportTable table(
+        "Hash-function ablation (4-way Cuckoo, steady-state churn)",
+        {"occupancy", "skewing attempts", "skewing failures",
+         "strong attempts", "strong failures"});
+    for (std::size_t o = 0; o < kOccPoints; ++o) {
+        const Outcome &skew = outcomes[o];
+        const Outcome &strong = outcomes[kOccPoints + o];
+        table.addRow({cellNum(kOccupancies[o] * 100.0, "%.0f%%"),
+                      cellNum(skew.avgAttempts),
+                      cellPct(skew.failureRate),
+                      cellNum(strong.avgAttempts),
+                      cellPct(strong.failureRate)});
     }
-    std::printf("\nPaper (§5.5): no benefit from strong functions at "
+
+    Reporter report(cli.format);
+    report.table(table);
+    report.note("Paper (§5.5): no benefit from strong functions at "
                 "practical provisioning; large failure-rate reduction "
-                "only in impractically under-provisioned tables.\n");
+                "only in impractically under-provisioned tables.");
     return 0;
 }

@@ -1,14 +1,18 @@
 /**
  * @file
- * Shared helpers for the figure-regeneration harnesses: simple CLI flag
- * parsing and fixed-width table printing.
+ * Harness-specific CLI flag parsing for the figure harnesses.
+ *
+ * The shared experiment CLI (--jobs/--format/--filter/--scale/
+ * --warmup/--measure) and all table/CSV/JSON emission live in
+ * src/sim/sweep.hh; this header only keeps the parser for the
+ * harness-specific numeric knobs (--ops=, --values=, ...), which
+ * `parseHarnessOptions` deliberately ignores.
  */
 
 #ifndef CDIR_BENCH_BENCH_UTIL_HH
 #define CDIR_BENCH_BENCH_UTIL_HH
 
 #include <cstdint>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -25,27 +29,6 @@ flagU64(int argc, char **argv, const char *name, std::uint64_t fallback)
             return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
     }
     return fallback;
-}
-
-/** Section banner. */
-inline void
-banner(const char *title)
-{
-    std::printf("\n=== %s ===\n", title);
-}
-
-/** Percentage with sensible precision for log-scale figures. */
-inline std::string
-pct(double fraction)
-{
-    char buf[32];
-    if (fraction == 0.0)
-        std::snprintf(buf, sizeof buf, "0");
-    else if (fraction < 0.0001)
-        std::snprintf(buf, sizeof buf, "%.4f%%", fraction * 100.0);
-    else
-        std::snprintf(buf, sizeof buf, "%.3f%%", fraction * 100.0);
-    return buf;
 }
 
 } // namespace cdir::bench

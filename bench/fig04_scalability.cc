@@ -6,6 +6,8 @@
  * System per the figure caption: 16-way private L2 caches, two caches
  * per core [I+D]. Organizations: Duplicate-Tag, Tagless, Sparse 8x
  * (full vector), In-Cache, Sparse 8x Hierarchical, Sparse 8x Coarse.
+ * The organization x core-count grid runs through the sweep runner's
+ * generic map (the cost model is analytical — no simulation).
  *
  * Axes as in the paper: energy relative to a 1MB 16-way L2 tag lookup,
  * area relative to a 1MB L2 data array; both per core (per slice).
@@ -19,11 +21,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
 #include "model/directory_model.hh"
+#include "sim/sweep.hh"
 
 using namespace cdir;
-using namespace cdir::bench;
 
 namespace {
 
@@ -48,39 +49,59 @@ const std::vector<std::pair<OrgModel, const char *>> kOrgs = {
 };
 
 const std::size_t kCores[] = {16, 32, 64, 128, 256, 512, 1024};
+constexpr std::size_t kCorePoints = std::size(kCores);
+
+std::vector<std::string>
+coreColumns()
+{
+    std::vector<std::string> columns{"organization"};
+    for (std::size_t c : kCores)
+        columns.push_back(std::to_string(c));
+    return columns;
+}
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Fig. 4 (top): per-core directory area, % of 1MB L2 data array");
-    std::printf("%-18s", "organization");
-    for (std::size_t c : kCores)
-        std::printf("  %8zu", c);
-    std::printf("\n");
-    for (const auto &[org, label] : kOrgs) {
-        std::printf("%-18s", label);
-        for (std::size_t c : kCores) {
-            const auto cost = directoryCost(org, fig4System(c));
-            std::printf("  %7.2f%%", cost.areaRelative * 100.0);
-        }
-        std::printf("\n");
-    }
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    warnFilterUnused(cli);
+    const SweepRunner runner(cli.sweep());
 
-    banner("Fig. 4 (bottom): per-core directory energy, % of 1MB L2 tag "
-           "lookup");
-    std::printf("%-18s", "organization");
-    for (std::size_t c : kCores)
-        std::printf("  %8zu", c);
-    std::printf("\n");
-    for (const auto &[org, label] : kOrgs) {
-        std::printf("%-18s", label);
-        for (std::size_t c : kCores) {
-            const auto cost = directoryCost(org, fig4System(c));
-            std::printf("  %7.0f%%", cost.energyRelative * 100.0);
+    // One grid cell per (organization, core count).
+    const std::size_t cells = kOrgs.size() * kCorePoints;
+    const auto costs = runner.map<DirCost>(cells, [](std::size_t i) {
+        const auto &[org, label] = kOrgs[i / kCorePoints];
+        return directoryCost(org, fig4System(kCores[i % kCorePoints]));
+    });
+
+    Reporter report(cli.format);
+    const struct
+    {
+        const char *title;
+        bool energy;
+        const char *fmt;
+    } tables[] = {
+        {"Fig. 4 (top): per-core directory area, % of 1MB L2 data array",
+         false, "%.2f%%"},
+        {"Fig. 4 (bottom): per-core directory energy, % of 1MB L2 tag "
+         "lookup",
+         true, "%.0f%%"},
+    };
+    for (const auto &spec : tables) {
+        ReportTable table(spec.title, coreColumns());
+        for (std::size_t o = 0; o < kOrgs.size(); ++o) {
+            std::vector<ReportCell> row{cellText(kOrgs[o].second)};
+            for (std::size_t c = 0; c < kCorePoints; ++c) {
+                const DirCost &cost = costs[o * kCorePoints + c];
+                const double rel = spec.energy ? cost.energyRelative
+                                               : cost.areaRelative;
+                row.push_back(cellNum(rel * 100.0, spec.fmt));
+            }
+            table.addRow(std::move(row));
         }
-        std::printf("\n");
+        report.table(table);
     }
     return 0;
 }

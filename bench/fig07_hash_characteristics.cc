@@ -10,6 +10,10 @@
  *   right graph — frequency of not finding a vacant location within 32
  *                 attempts (insertion failure probability).
  *
+ * The four arities form a grid run through the sweep runner's generic
+ * map — each cell owns its table and RNG, so results are identical at
+ * any --jobs value.
+ *
  * The paper's headline properties: below 50% occupancy, 3-ary and wider
  * tables need <= ~2 attempts on average; up to ~65% occupancy they never
  * fail.
@@ -23,6 +27,7 @@
 #include "common/stats.hh"
 #include "directory/cuckoo_table.hh"
 #include "hash/hash_family.hh"
+#include "sim/sweep.hh"
 
 using namespace cdir;
 
@@ -31,22 +36,25 @@ namespace {
 constexpr double kBucketWidth = 0.05;
 constexpr std::size_t kBuckets = 20; // occupancy 0..1 in 5% buckets
 
+const unsigned kArities[] = {2, 3, 4, 8};
+
 struct AritySeries
 {
-    unsigned ways;
+    unsigned ways = 0;
     std::vector<RunningMean> attempts{kBuckets};
     std::vector<RunningMean> failures{kBuckets};
 };
 
-void
-runArity(AritySeries &series, std::uint64_t values, std::uint64_t seed)
+AritySeries
+runArity(unsigned ways, std::uint64_t values, std::uint64_t seed)
 {
+    AritySeries series;
+    series.ways = ways;
     // Size each table near the paper's 100,000-element experiment; the
     // curves depend only on occupancy (§5.1), which the bucketing
     // normalizes out.
     const std::size_t sets = 32768;
-    auto family =
-        makeHashFamily(HashKind::Strong, series.ways, sets, seed);
+    auto family = makeHashFamily(HashKind::Strong, ways, sets, seed);
     CuckooTable<char> table(*family, 32);
     Rng rng(seed * 7919 + 1);
 
@@ -64,6 +72,7 @@ runArity(AritySeries &series, std::uint64_t values, std::uint64_t seed)
         if (res.discarded && table.occupancy() > 0.99)
             break; // saturated
     }
+    return series;
 }
 
 } // namespace
@@ -71,51 +80,56 @@ runArity(AritySeries &series, std::uint64_t values, std::uint64_t seed)
 int
 main(int argc, char **argv)
 {
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
     const std::uint64_t values =
         bench::flagU64(argc, argv, "values", 400000);
+    warnFilterUnused(cli);
+    const SweepRunner runner(cli.sweep());
 
-    std::vector<AritySeries> series;
-    for (unsigned ways : {2u, 3u, 4u, 8u}) {
-        series.push_back(AritySeries{ways});
-        runArity(series.back(), values, 100 + ways);
-    }
+    const auto series = runner.map<AritySeries>(
+        std::size(kArities), [values](std::size_t i) {
+            return runArity(kArities[i], values, 100 + kArities[i]);
+        });
 
-    bench::banner("Fig. 7 (left): average insertion attempts vs occupancy");
-    std::printf("%-10s", "occupancy");
+    std::vector<std::string> columns{"occupancy"};
     for (const auto &s : series)
-        std::printf("  %6u-ary", s.ways);
-    std::printf("\n");
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-        std::printf("%8.2f  ", (b + 0.5) * kBucketWidth);
-        for (const auto &s : series) {
-            if (s.attempts[b].count() == 0)
-                std::printf("  %9s", "-");
-            else
-                std::printf("  %9.3f", s.attempts[b].mean());
-        }
-        std::printf("\n");
-    }
+        columns.push_back(std::to_string(s.ways) + "-ary");
 
-    bench::banner(
-        "Fig. 7 (right): insertion failure probability vs occupancy");
-    std::printf("%-10s", "occupancy");
-    for (const auto &s : series)
-        std::printf("  %6u-ary", s.ways);
-    std::printf("\n");
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-        std::printf("%8.2f  ", (b + 0.5) * kBucketWidth);
-        for (const auto &s : series) {
-            if (s.failures[b].count() == 0)
-                std::printf("  %9s", "-");
-            else
-                std::printf("  %8.2f%%", s.failures[b].mean() * 100.0);
+    Reporter report(cli.format);
+    const struct
+    {
+        const char *title;
+        bool failures;
+    } tables[] = {
+        {"Fig. 7 (left): average insertion attempts vs occupancy", false},
+        {"Fig. 7 (right): insertion failure probability vs occupancy",
+         true},
+    };
+    for (const auto &spec : tables) {
+        ReportTable table(spec.title, columns);
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            std::vector<ReportCell> row{
+                cellNum((b + 0.5) * kBucketWidth, "%.2f")};
+            for (const auto &s : series) {
+                const RunningMean &m =
+                    spec.failures ? s.failures[b] : s.attempts[b];
+                if (m.count() == 0)
+                    row.push_back(cellMissing());
+                else if (spec.failures)
+                    row.push_back(cellNum(m.mean() * 100.0, "%.2f%%"));
+                else
+                    row.push_back(cellNum(m.mean()));
+            }
+            table.addRow(std::move(row));
         }
-        std::printf("\n");
+        report.table(table);
     }
 
     // Paper check: 3-ary and wider never fail below 65% occupancy, and
     // below 50% occupancy insert in under two attempts on average.
-    bench::banner("Checks vs paper (§5.1)");
+    ReportTable checks("Checks vs paper (§5.1)",
+                       {"arity", "max failure prob <= 65% occ",
+                        "max avg attempts <= 50% occ", "verdict"});
     for (const auto &s : series) {
         if (s.ways < 3)
             continue;
@@ -130,14 +144,14 @@ main(int argc, char **argv)
                 worst_attempts_below_50 = std::max(
                     worst_attempts_below_50, s.attempts[b].mean());
         }
-        std::printf("%u-ary: max failure prob below 65%% occupancy = %s; "
-                    "max avg attempts below 50%% = %.3f  [%s]\n",
-                    s.ways, bench::pct(worst_fail_below_65).c_str(),
-                    worst_attempts_below_50,
-                    (worst_fail_below_65 == 0.0 &&
-                     worst_attempts_below_50 < 2.0)
-                        ? "OK"
-                        : "MISMATCH");
+        checks.addRow({cellNum(double(s.ways), "%.0f"),
+                       cellPct(worst_fail_below_65),
+                       cellNum(worst_attempts_below_50),
+                       cellText((worst_fail_below_65 == 0.0 &&
+                                 worst_attempts_below_50 < 2.0)
+                                    ? "OK"
+                                    : "MISMATCH")});
     }
+    report.table(checks);
     return 0;
 }

@@ -4,7 +4,9 @@
  *
  * Runs every Table 2 workload on the Table 1 16-core CMP in both the
  * Shared-L2 and Private-L2 configurations with the §5.2-selected Cuckoo
- * directories, sampling aggregate occupancy during measurement.
+ * directories, sampling aggregate occupancy during measurement. The two
+ * per-configuration grids are declared as sweep specs and run on the
+ * shared thread pool (--jobs=).
  *
  * Paper shape to reproduce: occupancy well below 1 everywhere in the
  * Shared-L2 system (shared instructions/data compress the distinct-tag
@@ -13,7 +15,7 @@
  * system, with ocean the extreme (~100% unique blocks).
  */
 
-#include <cstdio>
+#include <vector>
 
 #include "sim_common.hh"
 
@@ -23,34 +25,55 @@ using namespace cdir::bench;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = flagU64(argc, argv, "scale", 1);
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    const SweepRunner runner(cli.sweep());
+
+    const CmpConfigKind kinds[] = {CmpConfigKind::SharedL2,
+                                   CmpConfigKind::PrivateL2};
+    std::vector<std::vector<SweepRecord>> byKind;
+    for (CmpConfigKind kind : kinds) {
+        SweepSpec spec = paperSweep(kind, cli);
+        spec.config(configName(kind),
+                    paperConfigWith(kind, selectedCuckoo(kind)));
+        byKind.push_back(runner.run(spec));
+    }
 
     // The paper's occupancy axis is relative to the worst-case number
     // of simultaneously tracked blocks (the aggregate cache frames) —
     // that is why ocean can read ~100% even on a 1.5x-provisioned
     // directory. We report that metric, plus the raw fraction of
     // directory slots in use for context.
-    banner("Fig. 8: average directory occupancy "
-           "(% of worst-case tracked blocks)");
-    std::printf("%-8s  %12s  %12s      %s\n", "workload", "Shared L2",
-                "Private L2", "(raw slot utilization S/P)");
-    for (PaperWorkload w : allPaperWorkloads()) {
-        double occ[2] = {0, 0};
-        double norm[2] = {0, 0};
-        int i = 0;
-        for (CmpConfigKind kind :
-             {CmpConfigKind::SharedL2, CmpConfigKind::PrivateL2}) {
-            const DirectoryParams dir = selectedCuckoo(kind);
-            const auto res = runPaperWorkload(kind, w, dir, scale);
-            const double provisioning =
-                provisioningFactor(CmpConfig::paperConfig(kind), dir);
-            occ[i] = res.avgOccupancy;
-            norm[i] = res.avgOccupancy * provisioning;
-            ++i;
+    ReportTable table("Fig. 8: average directory occupancy "
+                      "(% of worst-case tracked blocks)",
+                      {"workload", "Shared L2", "Private L2", "raw S",
+                       "raw P"});
+    const std::size_t workloads = allPaperWorkloads().size();
+    std::vector<RecordGrid> grids;
+    for (const auto &records : byKind)
+        grids.emplace_back(records, 1, workloads);
+    for (std::size_t w = 0; w < workloads; ++w) {
+        std::vector<ReportCell> row;
+        row.push_back(
+            cellText(paperWorkloadName(allPaperWorkloads()[w])));
+        for (int raw = 0; raw < 2; ++raw) {
+            for (std::size_t k = 0; k < 2; ++k) {
+                const SweepRecord *rec = grids[k].at(0, w);
+                if (rec == nullptr) {
+                    row.push_back(cellMissing());
+                    continue;
+                }
+                const double provisioning = provisioningFactor(
+                    CmpConfig::paperConfig(kinds[k]),
+                    selectedCuckoo(kinds[k]));
+                const double occ = rec->result.avgOccupancy *
+                                   (raw ? 1.0 : provisioning);
+                row.push_back(cellNum(occ * 100.0, "%.1f%%"));
+            }
         }
-        std::printf("%-8s  %11.1f%%  %11.1f%%      (%.1f%% / %.1f%%)\n",
-                    paperWorkloadName(w).c_str(), norm[0] * 100.0,
-                    norm[1] * 100.0, occ[0] * 100.0, occ[1] * 100.0);
+        table.addRow(std::move(row));
     }
+
+    Reporter report(cli.format);
+    report.table(table);
     return 0;
 }

@@ -5,12 +5,8 @@
  * Evaluates the paper's exact per-slice organizations, from 2x
  * over-provisioned down to 3/8x under-provisioned, reporting the
  * suite-wide average insertion attempts (bars) and forced-invalidation
- * rate (line):
- *
- *   Shared-L2:  4x1024 (2x), 3x1024 (1.5x), 4x512 (1x), 3x512 (3/4x),
- *               4x256 (1/2x), 3x256 (3/8x)
- *   Private-L2: 4x8192 (2x), 3x8192 (1.5x), 8x2048 (1x), 3x4096 (3/4x),
- *               8x1024 (1/2x), 3x2048 (3/8x)
+ * rate (line). Each configuration's grid — 6 sizings x 9 workloads — is
+ * one sweep spec run on the shared thread pool.
  *
  * Paper shape: under-provisioning (<1x) explodes attempts and forced
  * invalidations exponentially; Shared-L2 needs no over-provisioning and
@@ -35,28 +31,54 @@ struct Sizing
 };
 
 void
-sweep(CmpConfigKind kind, const std::vector<Sizing> &sizings,
-      std::uint64_t scale)
+sweep(Reporter &report, const SweepRunner &runner, const HarnessOptions &cli,
+      CmpConfigKind kind, const std::vector<Sizing> &sizings)
 {
-    std::printf("\n%s\n", configName(kind));
-    std::printf("%-18s  %12s  %18s\n", "organization", "avg attempts",
-                "forced-inval rate");
+    SweepSpec spec = paperSweep(kind, cli);
     for (const Sizing &s : sizings) {
-        RunningMean attempts;
-        std::uint64_t inserts = 0, forced = 0;
-        for (PaperWorkload w : allPaperWorkloads()) {
-            const auto res = runPaperWorkload(
-                kind, w, cuckooSliceParams(s.ways, s.sets), scale);
-            attempts.addWeighted(res.avgInsertionAttempts,
-                                 res.directory.insertions);
-            inserts += res.directory.insertions;
-            forced += res.directory.forcedEvictions;
-        }
-        const double rate =
-            inserts == 0 ? 0.0 : double(forced) / double(inserts);
-        std::printf("%u x %-6zu %-6s  %12.2f  %17s\n", s.ways, s.sets,
-                    s.label, attempts.mean(), pct(rate).c_str());
+        char label[64];
+        std::snprintf(label, sizeof label, "%ux%zu %s", s.ways, s.sets,
+                      s.label);
+        spec.config(label,
+                    paperConfigWith(
+                        kind, cuckooSliceParams(s.ways, s.sets)));
     }
+    const std::vector<SweepRecord> records = runner.run(spec);
+
+    // Suite-wide aggregation per sizing: insertion-weighted attempt
+    // mean and total forced-invalidation rate across the workloads.
+    struct Totals
+    {
+        RunningMean attempts;
+        std::uint64_t inserts = 0;
+        std::uint64_t forced = 0;
+        bool any = false;
+    };
+    std::vector<Totals> totals(sizings.size());
+    for (const SweepRecord &rec : records) {
+        Totals &t = totals[rec.configIndex];
+        t.attempts.addWeighted(rec.result.avgInsertionAttempts,
+                               rec.result.directory.insertions);
+        t.inserts += rec.result.directory.insertions;
+        t.forced += rec.result.directory.forcedEvictions;
+        t.any = true;
+    }
+
+    ReportTable table(std::string("Fig. 9 (") + configName(kind) +
+                          "): attempts and failure rates vs provisioning",
+                      {"organization", "avg attempts",
+                       "forced-inval rate"});
+    for (std::size_t i = 0; i < sizings.size(); ++i) {
+        const Totals &t = totals[i];
+        table.addRow(
+            {cellText(spec.configs()[i].label),
+             t.any ? cellNum(t.attempts.mean(), "%.2f") : cellMissing(),
+             t.any ? cellPct(t.inserts == 0 ? 0.0
+                                            : double(t.forced) /
+                                                  double(t.inserts))
+                   : cellMissing()});
+    }
+    report.table(table);
 }
 
 } // namespace
@@ -64,26 +86,24 @@ sweep(CmpConfigKind kind, const std::vector<Sizing> &sizings,
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = flagU64(argc, argv, "scale", 1);
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    const SweepRunner runner(cli.sweep());
+    Reporter report(cli.format);
 
-    banner("Fig. 9: insertion attempts and failure rates vs provisioning");
-
-    sweep(CmpConfigKind::SharedL2,
+    sweep(report, runner, cli, CmpConfigKind::SharedL2,
           {{4, 1024, "(2x)"},
            {3, 1024, "(1.5x)"},
            {4, 512, "(1x)"},
            {3, 512, "(3/4x)"},
            {4, 256, "(1/2x)"},
-           {3, 256, "(3/8x)"}},
-          scale);
+           {3, 256, "(3/8x)"}});
 
-    sweep(CmpConfigKind::PrivateL2,
+    sweep(report, runner, cli, CmpConfigKind::PrivateL2,
           {{4, 8192, "(2x)"},
            {3, 8192, "(1.5x)"},
            {8, 2048, "(1x)"},
            {3, 4096, "(3/4x)"},
            {8, 1024, "(1/2x)"},
-           {3, 2048, "(3/8x)"}},
-          scale);
+           {3, 2048, "(3/8x)"}});
     return 0;
 }

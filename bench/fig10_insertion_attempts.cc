@@ -1,14 +1,15 @@
 /**
  * @file
  * Fig. 10 — average insertion attempts per workload at the §5.2
- * selected Cuckoo sizes (4x512 Shared-L2, 3x8192 Private-L2).
+ * selected Cuckoo sizes (4x512 Shared-L2, 3x8192 Private-L2), declared
+ * as one sweep spec per configuration and run on the shared pool.
  *
  * Paper shape: typically under two attempts (a vacant slot is usually
  * found at the initial lookup), larger values for the private-footprint
  * heavy workloads (DSS, em3d, ocean) in the Private-L2 system.
  */
 
-#include <cstdio>
+#include <vector>
 
 #include "sim_common.hh"
 
@@ -18,23 +19,38 @@ using namespace cdir::bench;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = flagU64(argc, argv, "scale", 1);
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    const SweepRunner runner(cli.sweep());
 
-    banner("Fig. 10: Cuckoo directory average insertion attempts");
-    std::printf("%-8s  %12s  %12s\n", "workload", "Shared L2",
-                "Private L2");
-    for (PaperWorkload w : allPaperWorkloads()) {
-        double attempts[2] = {0, 0};
-        int i = 0;
-        for (CmpConfigKind kind :
-             {CmpConfigKind::SharedL2, CmpConfigKind::PrivateL2}) {
-            attempts[i++] =
-                runPaperWorkload(kind, w, selectedCuckoo(kind), scale)
-                    .avgInsertionAttempts;
-        }
-        std::printf("%-8s  %12.3f  %12.3f\n",
-                    paperWorkloadName(w).c_str(), attempts[0],
-                    attempts[1]);
+    const CmpConfigKind kinds[] = {CmpConfigKind::SharedL2,
+                                   CmpConfigKind::PrivateL2};
+    const std::size_t workloads = allPaperWorkloads().size();
+    std::vector<RecordGrid> grids;
+    std::vector<std::vector<SweepRecord>> byKind;
+    for (CmpConfigKind kind : kinds) {
+        SweepSpec spec = paperSweep(kind, cli);
+        spec.config(configName(kind),
+                    paperConfigWith(kind, selectedCuckoo(kind)));
+        byKind.push_back(runner.run(spec));
+        grids.emplace_back(byKind.back(), 1, workloads);
     }
+
+    ReportTable table(
+        "Fig. 10: Cuckoo directory average insertion attempts",
+        {"workload", "Shared L2", "Private L2"});
+    for (std::size_t w = 0; w < workloads; ++w) {
+        std::vector<ReportCell> row;
+        row.push_back(
+            cellText(paperWorkloadName(allPaperWorkloads()[w])));
+        for (std::size_t k = 0; k < 2; ++k) {
+            const SweepRecord *rec = grids[k].at(0, w);
+            row.push_back(rec ? cellNum(rec->result.avgInsertionAttempts)
+                              : cellMissing());
+        }
+        table.addRow(std::move(row));
+    }
+
+    Reporter report(cli.format);
+    report.table(table);
     return 0;
 }

@@ -10,6 +10,9 @@
  *   c) Skewed 2x  — 4-way skewed-associative, 2x capacity;
  *   d) Cuckoo     — 4x512 (1x) Shared-L2 / 3x8192 (1.5x) Private-L2.
  *
+ * Each configuration is one 4-organization x 9-workload sweep spec run
+ * on the shared pool — the largest grid in the suite (72 cells total).
+ *
  * Paper shape: Sparse 2x conflicts on nearly every workload; Skewed 2x
  * helps on server workloads but not scientific ones; Sparse 8x is
  * better but still significant; the Cuckoo directory — with *less*
@@ -17,7 +20,6 @@
  * case 0.08% at 1.5x).
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "sim_common.hh"
@@ -34,22 +36,37 @@ struct Org
 };
 
 void
-compare(CmpConfigKind kind, const std::vector<Org> &orgs,
-        std::uint64_t scale)
+compare(Reporter &report, const SweepRunner &runner,
+        const HarnessOptions &cli, CmpConfigKind kind,
+        const std::vector<Org> &orgs)
 {
-    std::printf("\n%s\n%-8s", configName(kind), "workload");
+    SweepSpec spec = paperSweep(kind, cli);
     for (const Org &o : orgs)
-        std::printf("  %12s", o.label);
-    std::printf("\n");
-    for (PaperWorkload w : allPaperWorkloads()) {
-        std::printf("%-8s", paperWorkloadName(w).c_str());
-        for (const Org &o : orgs) {
-            const auto res = runPaperWorkload(kind, w, o.params, scale);
-            std::printf("  %12s",
-                        pct(res.forcedInvalidationRate).c_str());
+        spec.config(o.label, paperConfigWith(kind, o.params));
+    const std::vector<SweepRecord> records = runner.run(spec);
+
+    const std::size_t workloads = spec.workloads().size();
+    const RecordGrid grid(records, orgs.size(), workloads);
+
+    std::vector<std::string> columns{"workload"};
+    for (const Org &o : orgs)
+        columns.push_back(o.label);
+    ReportTable table(std::string("Fig. 12 (") + configName(kind) +
+                          "): invalidation rates "
+                          "(% of directory insertions)",
+                      std::move(columns));
+    for (std::size_t w = 0; w < workloads; ++w) {
+        std::vector<ReportCell> row;
+        row.push_back(cellText(spec.workloads()[w].label));
+        for (std::size_t c = 0; c < orgs.size(); ++c) {
+            const SweepRecord *rec = grid.at(c, w);
+            row.push_back(
+                rec ? cellPct(rec->result.forcedInvalidationRate)
+                    : cellMissing());
         }
-        std::printf("\n");
+        table.addRow(std::move(row));
     }
+    report.table(table);
 }
 
 } // namespace
@@ -57,24 +74,21 @@ compare(CmpConfigKind kind, const std::vector<Org> &orgs,
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = flagU64(argc, argv, "scale", 1);
-
-    banner("Fig. 12: directory invalidation rates "
-           "(% of directory insertions)");
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    const SweepRunner runner(cli.sweep());
+    Reporter report(cli.format);
 
     // Per-slice frame baseline: 2048 (Shared-L2), 16384 (Private-L2).
-    compare(CmpConfigKind::SharedL2,
+    compare(report, runner, cli, CmpConfigKind::SharedL2,
             {{"Sparse 2x", sparseSliceParams(8, 512)},
              {"Sparse 8x", sparseSliceParams(8, 2048)},
              {"Skewed 2x", skewedSliceParams(4, 1024)},
-             {"Cuckoo 1x", cuckooSliceParams(4, 512)}},
-            scale);
+             {"Cuckoo 1x", cuckooSliceParams(4, 512)}});
 
-    compare(CmpConfigKind::PrivateL2,
+    compare(report, runner, cli, CmpConfigKind::PrivateL2,
             {{"Sparse 2x", sparseSliceParams(8, 4096)},
              {"Sparse 8x", sparseSliceParams(8, 16384)},
              {"Skewed 2x", skewedSliceParams(4, 8192)},
-             {"Cuckoo 1.5x", cuckooSliceParams(3, 8192)}},
-            scale);
+             {"Cuckoo 1.5x", cuckooSliceParams(3, 8192)}});
     return 0;
 }

@@ -10,8 +10,10 @@
  *
  * Organizations: Duplicate-Tag, Tagless, Sparse 8x (full vector),
  * In-Cache, Sparse 8x Hierarchical, Sparse 8x Coarse, Cuckoo
- * Hierarchical, Cuckoo Coarse. Axes as in the paper (energy relative to
- * an L2 tag lookup, area relative to a 1MB data array, per core).
+ * Hierarchical, Cuckoo Coarse. The (system, organization, core-count)
+ * grid runs through the sweep runner's generic map. Axes as in the
+ * paper (energy relative to an L2 tag lookup, area relative to a 1MB
+ * data array, per core).
  *
  * Paper headlines: Cuckoo Coarse/Hier stay flat in both energy and
  * area; >=7x area advantage over Sparse 8x Coarse/Hier; Tagless and
@@ -22,11 +24,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.hh"
 #include "model/directory_model.hh"
+#include "sim/sweep.hh"
 
 using namespace cdir;
-using namespace cdir::bench;
 
 namespace {
 
@@ -58,63 +59,105 @@ privateSystem(std::size_t cores)
     return p;
 }
 
-const std::size_t kCores[] = {16, 32, 64, 128, 256, 512, 1024};
+const std::vector<std::pair<OrgModel, const char *>> kOrgs = {
+    {OrgModel::DuplicateTag, "Duplicate-Tag"},
+    {OrgModel::Tagless, "Tagless"},
+    {OrgModel::SparseFull, "Sparse 8x"},
+    {OrgModel::InCache, "In-Cache"},
+    {OrgModel::SparseHier, "Sparse 8x Hier."},
+    {OrgModel::SparseCoarse, "Sparse 8x Coarse"},
+    {OrgModel::CuckooHier, "Cuckoo Hier."},
+    {OrgModel::CuckooCoarse, "Cuckoo Coarse"},
+};
 
-void
-table(const char *title, bool energy, bool is_private,
-      DirSystemParams (*system)(std::size_t))
+const std::size_t kCores[] = {16, 32, 64, 128, 256, 512, 1024};
+constexpr std::size_t kCorePoints = std::size(kCores);
+
+struct System
 {
-    std::vector<std::pair<OrgModel, const char *>> orgs = {
-        {OrgModel::DuplicateTag, "Duplicate-Tag"},
-        {OrgModel::Tagless, "Tagless"},
-        {OrgModel::SparseFull, "Sparse 8x"},
-        {OrgModel::InCache, "In-Cache"},
-        {OrgModel::SparseHier, "Sparse 8x Hier."},
-        {OrgModel::SparseCoarse, "Sparse 8x Coarse"},
-        {OrgModel::CuckooHier, "Cuckoo Hier."},
-        {OrgModel::CuckooCoarse, "Cuckoo Coarse"},
-    };
-    banner(title);
-    std::printf("%-18s", "organization");
-    for (std::size_t c : kCores)
-        std::printf("  %8zu", c);
-    std::printf("\n");
-    for (const auto &[org, label] : orgs) {
-        if (is_private && org == OrgModel::InCache) {
-            // Private L2s cannot include one another (§5.6).
-            std::printf("%-18s  %s\n", label, "n/a (no inclusive LLC)");
-            continue;
-        }
-        std::printf("%-18s", label);
-        for (std::size_t c : kCores) {
-            const auto cost = directoryCost(org, system(c));
-            if (energy)
-                std::printf("  %7.0f%%", cost.energyRelative * 100.0);
-            else
-                std::printf("  %7.2f%%", cost.areaRelative * 100.0);
-        }
-        std::printf("\n");
-    }
+    const char *label;
+    bool isPrivate;
+    DirSystemParams (*params)(std::size_t);
+};
+
+const System kSystems[] = {
+    {"Shared L2", false, sharedSystem},
+    {"Private L2", true, privateSystem},
+};
+
+bool
+applicable(const System &sys, OrgModel org)
+{
+    // Private L2s cannot include one another (§5.6).
+    return !(sys.isPrivate && org == OrgModel::InCache);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    table("Fig. 13: energy, Shared L2 (% of L2 tag lookup, per core)",
-          true, false, sharedSystem);
-    table("Fig. 13: energy, Private L2 (% of L2 tag lookup, per core)",
-          true, true, privateSystem);
-    table("Fig. 13: area, Shared L2 (% of 1MB L2 data array, per core)",
-          false, false, sharedSystem);
-    table("Fig. 13: area, Private L2 (% of 1MB L2 data array, per core)",
-          false, true, privateSystem);
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    warnFilterUnused(cli);
+    const SweepRunner runner(cli.sweep());
+
+    // Grid: system-major, then organization, then core count.
+    const std::size_t cells = 2 * kOrgs.size() * kCorePoints;
+    const auto costs = runner.map<DirCost>(cells, [](std::size_t i) {
+        const System &sys = kSystems[i / (kOrgs.size() * kCorePoints)];
+        const std::size_t rem = i % (kOrgs.size() * kCorePoints);
+        const OrgModel org = kOrgs[rem / kCorePoints].first;
+        if (!applicable(sys, org))
+            return DirCost{};
+        return directoryCost(org, sys.params(kCores[rem % kCorePoints]));
+    });
+    const auto costAt = [&](std::size_t sys, std::size_t org,
+                            std::size_t core) -> const DirCost & {
+        return costs[(sys * kOrgs.size() + org) * kCorePoints + core];
+    };
+
+    std::vector<std::string> columns{"organization"};
+    for (std::size_t c : kCores)
+        columns.push_back(std::to_string(c));
+
+    Reporter report(cli.format);
+    for (const bool energy : {true, false}) {
+        for (std::size_t s = 0; s < 2; ++s) {
+            std::string title = "Fig. 13: ";
+            title += energy ? "energy, " : "area, ";
+            title += kSystems[s].label;
+            title += energy ? " (% of L2 tag lookup, per core)"
+                            : " (% of 1MB L2 data array, per core)";
+            ReportTable table(std::move(title), columns);
+            for (std::size_t o = 0; o < kOrgs.size(); ++o) {
+                std::vector<ReportCell> row{cellText(kOrgs[o].second)};
+                if (!applicable(kSystems[s], kOrgs[o].first)) {
+                    for (std::size_t c = 0; c < kCorePoints; ++c)
+                        row.push_back(cellText("n/a"));
+                } else {
+                    for (std::size_t c = 0; c < kCorePoints; ++c) {
+                        const DirCost &cost = costAt(s, o, c);
+                        row.push_back(
+                            cellNum((energy ? cost.energyRelative
+                                            : cost.areaRelative) *
+                                        100.0,
+                                    energy ? "%.0f%%" : "%.2f%%"));
+                    }
+                }
+                table.addRow(std::move(row));
+            }
+            report.table(table);
+        }
+    }
 
     // Headline ratios quoted in §1/§7.
-    banner("Headline ratios at 16 and 1024 cores");
-    for (std::size_t c : {std::size_t{16}, std::size_t{1024}}) {
-        const auto sys = sharedSystem(c);
+    ReportTable headlines(
+        "Headline ratios, Shared L2 (DupTag & Tagless vs Cuckoo energy; "
+        "Sparse 8x vs Cuckoo area)",
+        {"cores", "DupTag/Cuckoo energy", "Tagless/Cuckoo energy",
+         "Sparse8x/Cuckoo area", "Cuckoo area % of L2"});
+    for (std::size_t c : {std::size_t{0}, kCorePoints - 1}) {
+        const auto sys = sharedSystem(kCores[c]);
         const double dup =
             directoryCost(OrgModel::DuplicateTag, sys).energyPerOp;
         const double tagless =
@@ -122,13 +165,13 @@ main()
         const double sparse_area =
             directoryCost(OrgModel::SparseCoarse, sys).areaBitsPerCore;
         const auto cuckoo = directoryCost(OrgModel::CuckooCoarse, sys);
-        std::printf(
-            "%4zu cores (Shared L2): DupTag/Cuckoo energy = %5.1fx, "
-            "Tagless/Cuckoo energy = %5.1fx, Sparse8x/Cuckoo area = "
-            "%4.1fx, Cuckoo area = %.2f%% of L2\n",
-            c, dup / cuckoo.energyPerOp, tagless / cuckoo.energyPerOp,
-            sparse_area / cuckoo.areaBitsPerCore,
-            cuckoo.areaRelative * 100.0);
+        headlines.addRow(
+            {cellNum(double(kCores[c]), "%.0f"),
+             cellNum(dup / cuckoo.energyPerOp, "%.1fx"),
+             cellNum(tagless / cuckoo.energyPerOp, "%.1fx"),
+             cellNum(sparse_area / cuckoo.areaBitsPerCore, "%.1fx"),
+             cellNum(cuckoo.areaRelative * 100.0, "%.2f%%")});
     }
+    report.table(headlines);
     return 0;
 }

@@ -92,7 +92,10 @@ BM_Probe(benchmark::State &state, const std::string &org)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
-/** Before: every access pays for an owning DirAccessResult snapshot. */
+/** Before: every access pays for an owning DirAccessResult snapshot.
+ *  Benchmarking the deprecated shim is this function's whole point. */
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 void
 BM_LegacyAccessChurn(benchmark::State &state, const std::string &org)
 {
@@ -122,6 +125,7 @@ BM_LegacyAccessChurn(benchmark::State &state, const std::string &org)
         static_cast<double>(allocationCount() - allocs_before),
         benchmark::Counter::kAvgIterations);
 }
+#pragma GCC diagnostic pop
 
 /** After: the same churn through a reusable DirAccessContext. */
 void

@@ -1,19 +1,23 @@
 /**
  * @file
  * Shared setup for the simulation-driven figure harnesses (Figs. 8-12):
- * the Table 1 system configurations, the §5.2 directory sizings, and a
- * cached experiment runner.
+ * the Table 1 system configurations, the §5.2 directory sizings, and
+ * sweep-spec builders over the Table 2 workload suite.
+ *
+ * A harness declares its grid by taking `paperSweep(kind, cli)` — the
+ * nine-workload axis with the per-configuration run lengths — and
+ * appending one config axis point per directory sizing it evaluates;
+ * `SweepRunner` (src/sim/sweep.hh) runs the cells in parallel.
  */
 
 #ifndef CDIR_BENCH_SIM_COMMON_HH
 #define CDIR_BENCH_SIM_COMMON_HH
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
-#include "sim/experiment.hh"
+#include "sim/sweep.hh"
 
 namespace cdir::bench {
 
@@ -34,16 +38,30 @@ optionsFor(CmpConfigKind kind, std::uint64_t scale)
     return opts;
 }
 
-/** Run one workload preset on one configuration+directory. */
-inline ExperimentResult
-runPaperWorkload(CmpConfigKind kind, PaperWorkload workload,
-                 const DirectoryParams &dir, std::uint64_t scale)
+/** Table 1 configuration for @p kind with @p dir as its directory. */
+inline CmpConfig
+paperConfigWith(CmpConfigKind kind, const DirectoryParams &dir)
 {
     CmpConfig cfg = CmpConfig::paperConfig(kind);
     cfg.directory = dir;
-    const WorkloadParams params =
-        paperWorkloadParams(workload, kind == CmpConfigKind::PrivateL2);
-    return runExperiment(cfg, params, optionsFor(kind, scale));
+    return cfg;
+}
+
+/**
+ * Sweep spec over the full Table 2 workload axis for @p kind, with the
+ * tuned run lengths (respecting the CLI --scale/--warmup/--measure).
+ * The caller appends its config axis points.
+ */
+inline SweepSpec
+paperSweep(CmpConfigKind kind, const HarnessOptions &cli)
+{
+    SweepSpec spec;
+    spec.options("", cli.applyOverrides(optionsFor(kind, cli.scale)));
+    const bool private_l2 = kind == CmpConfigKind::PrivateL2;
+    for (PaperWorkload w : allPaperWorkloads())
+        spec.workload(paperWorkloadName(w),
+                      paperWorkloadParams(w, private_l2));
+    return spec;
 }
 
 /** The §5.2 selected Cuckoo sizings. */
@@ -60,6 +78,34 @@ configName(CmpConfigKind kind)
 {
     return kind == CmpConfigKind::SharedL2 ? "Shared L2" : "Private L2";
 }
+
+/**
+ * Pivot helper: records of one sweep indexed by (configIndex,
+ * workloadIndex), so harnesses can lay out workload-rows x config-
+ * columns tables with '-' for filtered-out cells.
+ */
+class RecordGrid
+{
+  public:
+    RecordGrid(const std::vector<SweepRecord> &records,
+               std::size_t num_configs, std::size_t num_workloads)
+        : configs(num_configs), cells(num_configs * num_workloads, nullptr)
+    {
+        for (const SweepRecord &rec : records)
+            cells[rec.workloadIndex * configs + rec.configIndex] = &rec;
+    }
+
+    /** Record at (config, workload), or nullptr if filtered out. */
+    const SweepRecord *
+    at(std::size_t config, std::size_t workload) const
+    {
+        return cells[workload * configs + config];
+    }
+
+  private:
+    std::size_t configs;
+    std::vector<const SweepRecord *> cells;
+};
 
 } // namespace cdir::bench
 

@@ -6,12 +6,13 @@
  * measured across its workload suite: insert 23.5%, add sharer 26.9%,
  * remove sharer 24.9%, remove tag 23.5%, invalidate-all 1.2%. This
  * harness measures the same mix from our simulation (both
- * configurations, all nine workloads) and prints it next to the
+ * configurations, all nine workloads — one sweep spec per
+ * configuration, run on the shared pool) and prints it next to the
  * paper's numbers — the cross-check that ties the simulator to the
  * analytical model's inputs.
  */
 
-#include <cstdio>
+#include <vector>
 
 #include "sim_common.hh"
 
@@ -21,37 +22,52 @@ using namespace cdir::bench;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t scale = flagU64(argc, argv, "scale", 1);
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    const SweepRunner runner(cli.sweep());
 
     std::uint64_t inserts = 0, adds = 0, removes = 0, frees = 0,
                   invals = 0;
     for (CmpConfigKind kind :
          {CmpConfigKind::SharedL2, CmpConfigKind::PrivateL2}) {
-        for (PaperWorkload w : allPaperWorkloads()) {
-            const auto res =
-                runPaperWorkload(kind, w, selectedCuckoo(kind), scale);
-            inserts += res.directory.insertions;
-            adds += res.directory.sharerAdds;
-            frees += res.directory.entryFrees;
-            removes += res.directory.sharerRemovals -
-                       res.directory.entryFrees;
-            invals += res.directory.writeUpgrades;
+        SweepSpec spec = paperSweep(kind, cli);
+        spec.config(configName(kind),
+                    paperConfigWith(kind, selectedCuckoo(kind)));
+        for (const SweepRecord &rec : runner.run(spec)) {
+            inserts += rec.result.directory.insertions;
+            adds += rec.result.directory.sharerAdds;
+            frees += rec.result.directory.entryFrees;
+            removes += rec.result.directory.sharerRemovals -
+                       rec.result.directory.entryFrees;
+            invals += rec.result.directory.writeUpgrades;
         }
     }
     const double total =
         double(inserts + adds + removes + frees + invals);
 
-    banner("Directory operation mix (footnote 1)");
-    std::printf("%-28s  %10s  %8s\n", "operation", "measured", "paper");
-    std::printf("%-28s  %9.1f%%  %8s\n", "insert new tag",
-                100.0 * double(inserts) / total, "23.5%");
-    std::printf("%-28s  %9.1f%%  %8s\n", "add sharer to entry",
-                100.0 * double(adds) / total, "26.9%");
-    std::printf("%-28s  %9.1f%%  %8s\n", "remove sharer from entry",
-                100.0 * double(removes) / total, "24.9%");
-    std::printf("%-28s  %9.1f%%  %8s\n", "remove tag (last sharer)",
-                100.0 * double(frees) / total, "23.5%");
-    std::printf("%-28s  %9.1f%%  %8s\n", "invalidate all sharers",
-                100.0 * double(invals) / total, "1.2%");
+    ReportTable table("Directory operation mix (footnote 1)",
+                      {"operation", "measured", "paper"});
+    const struct
+    {
+        const char *label;
+        std::uint64_t count;
+        const char *paper;
+    } rows[] = {
+        {"insert new tag", inserts, "23.5%"},
+        {"add sharer to entry", adds, "26.9%"},
+        {"remove sharer from entry", removes, "24.9%"},
+        {"remove tag (last sharer)", frees, "23.5%"},
+        {"invalidate all sharers", invals, "1.2%"},
+    };
+    for (const auto &r : rows) {
+        table.addRow({cellText(r.label),
+                      total == 0.0
+                          ? cellMissing()
+                          : cellNum(100.0 * double(r.count) / total,
+                                    "%.1f%%"),
+                      cellText(r.paper)});
+    }
+
+    Reporter report(cli.format);
+    report.table(table);
     return 0;
 }

@@ -2,15 +2,16 @@
  * @file
  * Example: head-to-head comparison of directory organizations on one
  * workload — a single-workload slice of Fig. 12 plus occupancy and
- * lookup-width context, useful for exploring the design space.
+ * capacity context, useful for exploring the design space. The six
+ * contenders are one sweep grid run on the thread pool.
  *
- *   $ ./directory_comparison [workload]   # default: Apache
+ *   $ ./directory_comparison [workload] [--jobs=N] [--format=csv] ...
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/sweep.hh"
 
 using namespace cdir;
 
@@ -18,7 +19,7 @@ int
 main(int argc, char **argv)
 {
     PaperWorkload chosen = PaperWorkload::WebApache;
-    if (argc > 1) {
+    if (argc > 1 && argv[1][0] != '-') {
         bool found = false;
         for (PaperWorkload w : allPaperWorkloads()) {
             if (paperWorkloadName(w) == argv[1]) {
@@ -31,6 +32,7 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
 
     struct Contender
     {
@@ -56,26 +58,41 @@ main(int argc, char **argv)
         contenders.push_back({"Tagless", tagless});
     }
 
-    const WorkloadParams workload = paperWorkloadParams(chosen, false);
-    std::printf("workload: %s, Shared-L2 16-core CMP (Table 1)\n\n",
-                workload.name.c_str());
-    std::printf("%-16s %10s %12s %12s %14s\n", "organization", "entries",
-                "occupancy", "avg attempts", "forced invals");
+    ExperimentOptions opts;
+    opts.warmupAccesses = 500'000;
+    opts.measureAccesses = 500'000;
 
+    SweepSpec spec;
+    spec.options("", cli.applyOverrides(opts));
+    spec.workload(paperWorkloadName(chosen),
+                  paperWorkloadParams(chosen, false));
     for (const Contender &c : contenders) {
         CmpConfig cfg = CmpConfig::paperConfig(CmpConfigKind::SharedL2);
         cfg.directory = c.params;
-        ExperimentOptions opts;
-        opts.warmupAccesses = 500'000;
-        opts.measureAccesses = 500'000;
-        const auto res = runExperiment(cfg, workload, opts);
-        std::printf("%-16s %10zu %11.1f%% %12.3f %13.5f%%\n", c.label,
-                    res.directoryCapacity, 100.0 * res.avgOccupancy,
-                    res.avgInsertionAttempts,
-                    100.0 * res.forcedInvalidationRate);
+        spec.config(c.label, cfg);
     }
-    std::printf("\nThe Cuckoo organization matches the big Sparse 8x "
+
+    const SweepRunner runner(cli.sweep());
+    const std::vector<SweepRecord> records = runner.run(spec);
+
+    Reporter report(cli.format);
+    report.note(std::string("workload: ") + paperWorkloadName(chosen) +
+                ", Shared-L2 16-core CMP (Table 1)");
+    ReportTable table("directory organization comparison",
+                      {"organization", "entries", "occupancy",
+                       "avg attempts", "forced invals"});
+    for (const SweepRecord &rec : records) {
+        table.addRow(
+            {cellText(rec.configLabel),
+             cellNum(double(rec.result.directoryCapacity), "%.0f"),
+             cellNum(100.0 * rec.result.avgOccupancy, "%.1f%%"),
+             cellNum(rec.result.avgInsertionAttempts),
+             cellNum(100.0 * rec.result.forcedInvalidationRate,
+                     "%.5f%%")});
+    }
+    report.table(table);
+    report.note("The Cuckoo organization matches the big Sparse 8x "
                 "directory's invalidation behaviour at a quarter of its "
-                "capacity (Fig. 12).\n");
+                "capacity (Fig. 12).");
     return 0;
 }

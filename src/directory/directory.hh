@@ -108,8 +108,11 @@ class Directory
     /**
      * Value-returning convenience shim over the context protocol.
      * @deprecated Allocates per call — use access(request, ctx) or
-     * accessBatch() on hot paths.
+     * accessBatch(). Every in-tree caller has been migrated; the shim
+     * will be removed in a future PR.
      */
+    [[deprecated("use access(request, ctx) / accessBatch(); the "
+                 "value-returning shim will be removed")]]
     DirAccessResult access(Tag tag, CacheId cache, bool is_write);
 
     /** Private cache @p cache evicted block @p tag. */

@@ -21,6 +21,14 @@
  * object file's static initializers, so the library must be linked
  * whole (the build uses a CMake OBJECT library for exactly this
  * reason).
+ *
+ * Thread safety: the registry map is only mutated during static
+ * initialization (before main, single-threaded); after that every
+ * operation is a const read, so concurrent build()/traits()/names()
+ * calls from sweep workers are lock-free and race-free. Builders must
+ * stay stateless (capture nothing mutable) — all current registrations
+ * construct from their DirectoryParams argument alone. Registering at
+ * runtime while sweeps are in flight is not supported.
  */
 
 #ifndef CDIR_DIRECTORY_REGISTRY_HH

@@ -1,0 +1,466 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace cdir {
+
+// --- SweepSpec ---------------------------------------------------------------
+
+SweepSpec &
+SweepSpec::config(std::string label, CmpConfig cfg)
+{
+    cfgAxis.push_back(ConfigAxisPoint{std::move(label), std::move(cfg)});
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::workload(std::string label, WorkloadParams params)
+{
+    wlAxis.push_back(
+        WorkloadAxisPoint{std::move(label), std::move(params)});
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::options(std::string label, ExperimentOptions opts)
+{
+    optAxis.push_back(OptionsAxisPoint{std::move(label), opts});
+    return *this;
+}
+
+// --- SweepRunner -------------------------------------------------------------
+
+std::string
+sweepCellLabel(const std::string &config_label,
+               const std::string &workload_label,
+               const std::string &options_label)
+{
+    std::string label = config_label;
+    label += '/';
+    label += workload_label;
+    if (!options_label.empty()) {
+        label += '/';
+        label += options_label;
+    }
+    return label;
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : opts(std::move(options)) {}
+
+bool
+SweepRunner::matchesFilter(const std::string &cell_label) const
+{
+    if (opts.filter.empty())
+        return true;
+    std::string_view rest = opts.filter;
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view needle = rest.substr(0, comma);
+        if (!needle.empty() &&
+            cell_label.find(needle) != std::string::npos)
+            return true;
+        if (comma == std::string_view::npos)
+            break;
+        rest.remove_prefix(comma + 1);
+    }
+    return false;
+}
+
+std::vector<SweepRecord>
+SweepRunner::run(const SweepSpec &spec) const
+{
+    static const OptionsAxisPoint default_options{
+        "", ExperimentOptions{}};
+
+    // Enumerate the filter-surviving cells up front so results can be
+    // written into their final (cell-order) slots from any worker.
+    std::vector<SweepRecord> records;
+    records.reserve(spec.cellCount());
+    for (std::size_t c = 0; c < spec.configs().size(); ++c) {
+        for (std::size_t w = 0; w < spec.workloads().size(); ++w) {
+            for (std::size_t o = 0; o < spec.optionsPoints(); ++o) {
+                const OptionsAxisPoint &opt =
+                    spec.optionsAxis().empty() ? default_options
+                                               : spec.optionsAxis()[o];
+                SweepRecord rec;
+                rec.configIndex = c;
+                rec.workloadIndex = w;
+                rec.optionsIndex = o;
+                rec.configLabel = spec.configs()[c].label;
+                rec.workloadLabel = spec.workloads()[w].label;
+                rec.optionsLabel = opt.label;
+                if (!matchesFilter(sweepCellLabel(rec.configLabel,
+                                                  rec.workloadLabel,
+                                                  rec.optionsLabel)))
+                    continue;
+                records.push_back(std::move(rec));
+            }
+        }
+    }
+
+    parallelFor(opts.jobs, records.size(), [&](std::size_t i) {
+        SweepRecord &rec = records[i];
+        const OptionsAxisPoint &opt =
+            spec.optionsAxis().empty()
+                ? default_options
+                : spec.optionsAxis()[rec.optionsIndex];
+        rec.result = runExperiment(
+            spec.configs()[rec.configIndex].config,
+            spec.workloads()[rec.workloadIndex].workload, opt.options);
+    });
+    return records;
+}
+
+// --- report cells ------------------------------------------------------------
+
+ReportCell
+cellText(std::string text)
+{
+    ReportCell cell;
+    cell.text = std::move(text);
+    return cell;
+}
+
+ReportCell
+cellNum(double value, const char *format)
+{
+    ReportCell cell;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, format, value);
+    cell.text = buf;
+    cell.value = value;
+    cell.numeric = true;
+    return cell;
+}
+
+ReportCell
+cellPct(double fraction)
+{
+    ReportCell cell;
+    char buf[32];
+    if (fraction == 0.0)
+        std::snprintf(buf, sizeof buf, "0");
+    else if (fraction < 0.0001)
+        std::snprintf(buf, sizeof buf, "%.4f%%", fraction * 100.0);
+    else
+        std::snprintf(buf, sizeof buf, "%.3f%%", fraction * 100.0);
+    cell.text = buf;
+    cell.value = fraction;
+    cell.numeric = true;
+    return cell;
+}
+
+ReportCell
+cellMissing()
+{
+    ReportCell cell;
+    cell.text = "-";
+    return cell;
+}
+
+// --- ReportTable -------------------------------------------------------------
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : heading(std::move(title)), headers(std::move(columns))
+{
+}
+
+void
+ReportTable::addRow(std::vector<ReportCell> cells)
+{
+    if (cells.size() != headers.size()) {
+        std::fprintf(stderr,
+                     "ReportTable '%s': row has %zu cells, expected %zu\n",
+                     heading.c_str(), cells.size(), headers.size());
+        std::abort();
+    }
+    body.push_back(std::move(cells));
+}
+
+// --- Reporter ----------------------------------------------------------------
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+/** Quote a CSV field only when it needs it. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+emitAlignedTable(const ReportTable &t, std::FILE *out)
+{
+    std::fprintf(out, "\n=== %s ===\n", t.title().c_str());
+    const std::size_t cols = t.columns().size();
+    std::vector<std::size_t> width(cols);
+    // A column right-aligns (cells and header) iff it holds a numeric
+    // (or filtered-out "-") cell and no text cell.
+    std::vector<bool> right(cols, false), text(cols, false);
+    for (std::size_t c = 0; c < cols; ++c)
+        width[c] = t.columns()[c].size();
+    for (const auto &row : t.rows()) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].text.size());
+            (row[c].numeric || row[c].text == "-" ? right : text)[c] =
+                true;
+        }
+    }
+    for (std::size_t c = 0; c < cols; ++c)
+        right[c] = right[c] && !text[c];
+
+    for (std::size_t c = 0; c < cols; ++c)
+        std::fprintf(out, "%s%*s", c == 0 ? "" : "  ",
+                     static_cast<int>(width[c]) * (right[c] ? 1 : -1),
+                     t.columns()[c].c_str());
+    std::fprintf(out, "\n");
+    for (const auto &row : t.rows()) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(out, "%s%*s", c == 0 ? "" : "  ",
+                         static_cast<int>(width[c]) * (right[c] ? 1 : -1),
+                         row[c].text.c_str());
+        }
+        std::fprintf(out, "\n");
+    }
+}
+
+void
+emitCsvTable(const ReportTable &t, std::FILE *out)
+{
+    std::fprintf(out, "# %s\n", t.title().c_str());
+    for (std::size_t c = 0; c < t.columns().size(); ++c)
+        std::fprintf(out, "%s%s", c == 0 ? "" : ",",
+                     csvField(t.columns()[c]).c_str());
+    std::fprintf(out, "\n");
+    for (const auto &row : t.rows()) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(out, "%s", c == 0 ? "" : ",");
+            if (row[c].numeric)
+                std::fprintf(out, "%.17g", row[c].value);
+            else
+                std::fprintf(out, "%s", csvField(row[c].text).c_str());
+        }
+        std::fprintf(out, "\n");
+    }
+}
+
+void
+emitJsonTable(const ReportTable &t, std::FILE *out)
+{
+    std::fprintf(out, "{\"title\": \"%s\", \"columns\": [",
+                 jsonEscape(t.title()).c_str());
+    for (std::size_t c = 0; c < t.columns().size(); ++c)
+        std::fprintf(out, "%s\"%s\"", c == 0 ? "" : ", ",
+                     jsonEscape(t.columns()[c]).c_str());
+    std::fprintf(out, "], \"rows\": [");
+    for (std::size_t r = 0; r < t.rows().size(); ++r) {
+        std::fprintf(out, "%s\n  [", r == 0 ? "" : ",");
+        const auto &row = t.rows()[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(out, "%s", c == 0 ? "" : ", ");
+            if (row[c].numeric)
+                std::fprintf(out, "%.17g", row[c].value);
+            else
+                std::fprintf(out, "\"%s\"",
+                             jsonEscape(row[c].text).c_str());
+        }
+        std::fprintf(out, "]");
+    }
+    std::fprintf(out, "]}");
+}
+
+} // namespace
+
+Reporter::Reporter(ReportFormat format, std::FILE *out)
+    : fmt(format), stream(out)
+{
+}
+
+Reporter::~Reporter()
+{
+    if (fmt == ReportFormat::Json)
+        std::fprintf(stream, jsonStarted ? "\n]\n" : "[]\n");
+    std::fflush(stream);
+}
+
+void
+Reporter::jsonSeparator()
+{
+    std::fprintf(stream, jsonStarted ? ",\n" : "[\n");
+    jsonStarted = true;
+}
+
+void
+Reporter::table(const ReportTable &t)
+{
+    switch (fmt) {
+      case ReportFormat::Table:
+        emitAlignedTable(t, stream);
+        break;
+      case ReportFormat::Csv:
+        emitCsvTable(t, stream);
+        break;
+      case ReportFormat::Json:
+        jsonSeparator();
+        emitJsonTable(t, stream);
+        break;
+    }
+}
+
+void
+Reporter::note(const std::string &text)
+{
+    switch (fmt) {
+      case ReportFormat::Table:
+        std::fprintf(stream, "\n%s\n", text.c_str());
+        break;
+      case ReportFormat::Csv:
+        std::fprintf(stream, "# %s\n", text.c_str());
+        break;
+      case ReportFormat::Json:
+        jsonSeparator();
+        std::fprintf(stream, "{\"note\": \"%s\"}",
+                     jsonEscape(text).c_str());
+        break;
+    }
+}
+
+// --- shared harness CLI ------------------------------------------------------
+
+namespace {
+
+/** Value of a "--name=value" argument, or nullptr. */
+const char *
+flagValue(const char *arg, const char *name)
+{
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, "--", 2) != 0)
+        return nullptr;
+    if (std::strncmp(arg + 2, name, len) != 0 || arg[2 + len] != '=')
+        return nullptr;
+    return arg + 2 + len + 1;
+}
+
+[[noreturn]] void
+usage(const char *bad)
+{
+    std::fprintf(
+        stderr,
+        "bad flag value '%s'\n"
+        "shared harness flags:\n"
+        "  --jobs=N              worker threads (0 = all hardware "
+        "threads; default 0)\n"
+        "  --format=table|csv|json  output format (default table)\n"
+        "  --filter=S[,S...]     run only cells whose "
+        "config/workload/options label\n"
+        "                        contains one of the substrings\n"
+        "  --scale=N             run-length multiplier\n"
+        "  --warmup=N            override warmup access count\n"
+        "  --measure=N           override measured access count\n",
+        bad);
+    std::exit(2);
+}
+
+} // namespace
+
+namespace {
+
+/** Whole-string unsigned parse; exits with usage on any trailing junk. */
+std::uint64_t
+parseU64(const char *value, const char *arg)
+{
+    char *end = nullptr;
+    const std::uint64_t parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        usage(arg);
+    return parsed;
+}
+
+} // namespace
+
+HarnessOptions
+parseHarnessOptions(int argc, char **argv)
+{
+    HarnessOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = flagValue(argv[i], "jobs")) {
+            opts.jobs = static_cast<unsigned>(parseU64(v, argv[i]));
+        } else if (const char *v = flagValue(argv[i], "format")) {
+            if (std::strcmp(v, "table") == 0)
+                opts.format = ReportFormat::Table;
+            else if (std::strcmp(v, "csv") == 0)
+                opts.format = ReportFormat::Csv;
+            else if (std::strcmp(v, "json") == 0)
+                opts.format = ReportFormat::Json;
+            else
+                usage(argv[i]);
+        } else if (const char *v = flagValue(argv[i], "filter")) {
+            opts.filter = v;
+        } else if (const char *v = flagValue(argv[i], "scale")) {
+            opts.scale = parseU64(v, argv[i]);
+            if (opts.scale == 0)
+                usage(argv[i]);
+        } else if (const char *v = flagValue(argv[i], "warmup")) {
+            opts.warmupOverride = parseU64(v, argv[i]);
+        } else if (const char *v = flagValue(argv[i], "measure")) {
+            opts.measureOverride = parseU64(v, argv[i]);
+        }
+        // Anything else is a harness-specific flag or positional
+        // argument; the harness parses those itself.
+    }
+    return opts;
+}
+
+void
+warnFilterUnused(const HarnessOptions &opts)
+{
+    if (!opts.filter.empty())
+        std::fprintf(stderr,
+                     "note: this harness runs a generic grid; "
+                     "--filter=%s has no effect\n",
+                     opts.filter.c_str());
+}
+
+} // namespace cdir

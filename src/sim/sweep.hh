@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.
+ *
+ * The paper's evaluation is a grid — Table 2 workloads x directory
+ * organizations x provisioning points — and every figure harness used to
+ * hand-roll its own serial loops over it. This subsystem makes the grid
+ * declarative and thread-parallel:
+ *
+ *  - `SweepSpec`: a cartesian grid of labelled axes — `CmpConfig`
+ *    (system + directory organization), `WorkloadParams`, and
+ *    `ExperimentOptions` (run lengths). An omitted options axis means
+ *    "one default point".
+ *  - `SweepRunner`: runs every cell's `runExperiment` on a fixed
+ *    thread pool (`common/thread_pool.hh`). Results land in cell order
+ *    regardless of scheduling, and every cell constructs its own
+ *    `CmpSystem` and `SyntheticWorkload` RNG, so a sweep is
+ *    deterministic at any `--jobs` value. The generic `map()` escape
+ *    hatch runs arbitrary per-cell computations (the analytical-model
+ *    and cuckoo-table harnesses) on the same pool.
+ *  - `ReportTable` + `Reporter`: one table abstraction emitted as an
+ *    aligned text table, CSV, or JSON, replacing per-harness printf
+ *    scattering.
+ *  - `parseHarnessOptions`: the `--jobs= / --format= / --filter=`
+ *    (plus `--scale= / --warmup= / --measure=`) CLI shared by every
+ *    figure harness and example.
+ *
+ * Thread-safety contract (audited): `runExperiment` touches no global
+ * mutable state — `DirectoryRegistry` is only written during static
+ * initialization and its reads are lock-free, hash families and Zipf
+ * samplers are per-instance, and the only process-wide tables
+ * (`allPaperWorkloads`) are immutable after their thread-safe magic
+ * static initialization. Concurrent cells therefore share nothing.
+ */
+
+#ifndef CDIR_SIM_SWEEP_HH
+#define CDIR_SIM_SWEEP_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "sim/experiment.hh"
+
+namespace cdir {
+
+// --- grid declaration --------------------------------------------------------
+
+/** One labelled point on the configuration axis. */
+struct ConfigAxisPoint
+{
+    std::string label;
+    CmpConfig config;
+};
+
+/** One labelled point on the workload axis. */
+struct WorkloadAxisPoint
+{
+    std::string label;
+    WorkloadParams workload;
+};
+
+/** One labelled point on the experiment-length axis. */
+struct OptionsAxisPoint
+{
+    std::string label;
+    ExperimentOptions options;
+};
+
+/** Declarative cartesian experiment grid (see file comment). */
+class SweepSpec
+{
+  public:
+    /** Append a configuration axis point. @return *this for chaining. */
+    SweepSpec &config(std::string label, CmpConfig cfg);
+
+    /** Append a workload axis point. @return *this for chaining. */
+    SweepSpec &workload(std::string label, WorkloadParams params);
+
+    /** Append an options axis point. @return *this for chaining. */
+    SweepSpec &options(std::string label, ExperimentOptions opts);
+
+    const std::vector<ConfigAxisPoint> &configs() const { return cfgAxis; }
+    const std::vector<WorkloadAxisPoint> &workloads() const
+    {
+        return wlAxis;
+    }
+    /** Options axis; empty means one default ExperimentOptions point. */
+    const std::vector<OptionsAxisPoint> &optionsAxis() const
+    {
+        return optAxis;
+    }
+
+    /** Cells in the full grid (options axis counted as >= 1). */
+    std::size_t
+    cellCount() const
+    {
+        return cfgAxis.size() * wlAxis.size() * optionsPoints();
+    }
+
+    /** Points on the options axis, counting the implicit default. */
+    std::size_t
+    optionsPoints() const
+    {
+        return optAxis.empty() ? 1 : optAxis.size();
+    }
+
+  private:
+    std::vector<ConfigAxisPoint> cfgAxis;
+    std::vector<WorkloadAxisPoint> wlAxis;
+    std::vector<OptionsAxisPoint> optAxis;
+};
+
+/** Axis coordinates + labels + metrics of one completed grid cell. */
+struct SweepRecord
+{
+    std::size_t configIndex = 0;
+    std::size_t workloadIndex = 0;
+    std::size_t optionsIndex = 0;
+    std::string configLabel;
+    std::string workloadLabel;
+    std::string optionsLabel;
+    ExperimentResult result;
+};
+
+// --- running -----------------------------------------------------------------
+
+/** Worker-count / cell-filter knobs for a sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = one per hardware thread, 1 = serial. */
+    unsigned jobs = 1;
+    /**
+     * Comma-separated substrings; a cell runs iff its
+     * "config/workload/options" label contains at least one of them.
+     * Empty = run everything.
+     */
+    std::string filter;
+};
+
+/** Runs SweepSpec grids (and generic grids) on a thread pool. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /**
+     * Run every (filter-surviving) cell of @p spec through
+     * `runExperiment` on the pool.
+     * @return records in cell order — options-major within workload
+     * within config — independent of scheduling.
+     */
+    std::vector<SweepRecord> run(const SweepSpec &spec) const;
+
+    /**
+     * Generic grid escape hatch: compute `fn(i)` for each cell index on
+     * the pool and return the results in index order. For harness grids
+     * that are not `runExperiment` cells (analytical model sweeps,
+     * cuckoo-table churn); the filter does not apply.
+     */
+    template <typename Result, typename Fn>
+    std::vector<Result>
+    map(std::size_t count, Fn &&fn) const
+    {
+        std::vector<Result> out(count);
+        parallelFor(opts.jobs, count,
+                    [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** The options in force. */
+    const SweepOptions &options() const { return opts; }
+
+    /** True iff the label survives this runner's filter. */
+    bool matchesFilter(const std::string &cell_label) const;
+
+  private:
+    SweepOptions opts;
+};
+
+/** "config/workload/options" label of one cell (filter target). */
+std::string sweepCellLabel(const std::string &config_label,
+                           const std::string &workload_label,
+                           const std::string &options_label);
+
+// --- reporting ---------------------------------------------------------------
+
+/** Output format shared by every harness (--format=). */
+enum class ReportFormat
+{
+    Table, //!< aligned fixed-width text (default)
+    Csv,   //!< one header row then data rows; title as a # comment
+    Json,  //!< array of {title, columns, rows} objects
+};
+
+/** One table cell: display text plus the raw value for CSV/JSON. */
+struct ReportCell
+{
+    std::string text;    //!< formatted for the aligned table
+    double value = 0.0;  //!< raw value (numeric cells)
+    bool numeric = false;
+};
+
+/** Text cell (left-aligned, emitted as a string). */
+ReportCell cellText(std::string text);
+
+/** Numeric cell: @p value rendered with printf @p format for the table. */
+ReportCell cellNum(double value, const char *format = "%.3f");
+
+/**
+ * Percentage cell over a fraction in [0, 1]: renders like the figures'
+ * log-scale axes ("0", "0.0042%", "1.234%"); raw value stays the
+ * fraction.
+ */
+ReportCell cellPct(double fraction);
+
+/** Placeholder for a cell whose experiment was filtered out. */
+ReportCell cellMissing();
+
+/** A titled grid of cells with one header row. */
+class ReportTable
+{
+  public:
+    ReportTable(std::string title, std::vector<std::string> columns);
+
+    /** Append a row; must match the column count. */
+    void addRow(std::vector<ReportCell> cells);
+
+    const std::string &title() const { return heading; }
+    const std::vector<std::string> &columns() const { return headers; }
+    const std::vector<std::vector<ReportCell>> &rows() const
+    {
+        return body;
+    }
+
+  private:
+    std::string heading;
+    std::vector<std::string> headers;
+    std::vector<std::vector<ReportCell>> body;
+};
+
+/**
+ * Emits tables and free-form notes in one ReportFormat. JSON output is
+ * a single valid array closed when the reporter is destroyed.
+ */
+class Reporter
+{
+  public:
+    explicit Reporter(ReportFormat format, std::FILE *out = stdout);
+    ~Reporter();
+
+    Reporter(const Reporter &) = delete;
+    Reporter &operator=(const Reporter &) = delete;
+
+    /** Emit one table. */
+    void table(const ReportTable &t);
+
+    /** Free-form commentary (text line / # comment / note object). */
+    void note(const std::string &text);
+
+    ReportFormat format() const { return fmt; }
+
+  private:
+    void jsonSeparator();
+
+    ReportFormat fmt;
+    std::FILE *stream;
+    bool jsonStarted = false;
+};
+
+// --- shared harness CLI ------------------------------------------------------
+
+/** Options every figure harness and example accepts. */
+struct HarnessOptions
+{
+    unsigned jobs = 0;          //!< --jobs=N  (0 = hardware threads)
+    ReportFormat format = ReportFormat::Table; //!< --format=table|csv|json
+    std::string filter;         //!< --filter=substr[,substr...]
+    std::uint64_t scale = 1;    //!< --scale=N  run-length multiplier
+    std::uint64_t warmupOverride = 0;  //!< --warmup=N  (0 = preset)
+    std::uint64_t measureOverride = 0; //!< --measure=N (0 = preset)
+
+    /** SweepOptions with this jobs/filter pair. */
+    SweepOptions
+    sweep() const
+    {
+        return SweepOptions{jobs, filter};
+    }
+
+    /** Apply the --warmup/--measure overrides to @p opts. */
+    ExperimentOptions
+    applyOverrides(ExperimentOptions opts) const
+    {
+        if (warmupOverride != 0)
+            opts.warmupAccesses = warmupOverride;
+        if (measureOverride != 0)
+            opts.measureAccesses = measureOverride;
+        return opts;
+    }
+};
+
+/**
+ * Parse the shared flags out of @p argv. Unknown flags and positional
+ * arguments are ignored (harness-specific knobs parse them separately).
+ * Exits with a usage message on a malformed known flag.
+ */
+HarnessOptions parseHarnessOptions(int argc, char **argv);
+
+/**
+ * Stderr note that --filter was given but does not apply. Harnesses
+ * whose whole grid runs through the generic map() (no cell labels)
+ * call this so a supplied filter is never silently ignored.
+ */
+void warnFilterUnused(const HarnessOptions &opts);
+
+} // namespace cdir
+
+#endif // CDIR_SIM_SWEEP_HH

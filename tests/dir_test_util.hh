@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared test helper: drive a single directory request through the
+ * batched context protocol and return an owning snapshot.
+ *
+ * The tests used to call the value-returning
+ * `Directory::access(tag, cache, is_write)` shim; that shim is now
+ * `[[deprecated]]` and scheduled for removal, so tests exercise the
+ * context protocol directly through this helper instead (value
+ * semantics are fine off the hot path).
+ */
+
+#ifndef CDIR_TESTS_DIR_TEST_UTIL_HH
+#define CDIR_TESTS_DIR_TEST_UTIL_HH
+
+#include "directory/directory.hh"
+
+namespace cdir::test {
+
+/** One request through the context protocol; snapshot of its outcome. */
+inline DirAccessResult
+accessDir(Directory &dir, Tag tag, CacheId cache, bool is_write)
+{
+    DirAccessContext ctx = dir.makeContext();
+    dir.access(DirRequest{tag, cache, is_write}, ctx);
+    return ctx.snapshot(0);
+}
+
+} // namespace cdir::test
+
+#endif // CDIR_TESTS_DIR_TEST_UTIL_HH

@@ -21,6 +21,8 @@
 #include "directory/in_cache_directory.hh"
 #include "directory/tagless_directory.hh"
 
+#include "dir_test_util.hh"
+
 namespace cdir {
 namespace {
 
@@ -96,7 +98,7 @@ TEST_P(DirectoryProtocol, StartsEmpty)
 
 TEST_P(DirectoryProtocol, ReadMissAllocatesEntry)
 {
-    auto res = dir->access(0x10, 3, false);
+    auto res = test::accessDir(*dir, 0x10, 3, false);
     EXPECT_FALSE(res.hit);
     EXPECT_TRUE(res.inserted);
     EXPECT_GE(res.attempts, 1u);
@@ -106,8 +108,8 @@ TEST_P(DirectoryProtocol, ReadMissAllocatesEntry)
 
 TEST_P(DirectoryProtocol, SecondReaderHits)
 {
-    dir->access(0x10, 3, false);
-    auto res = dir->access(0x10, 5, false);
+    test::accessDir(*dir, 0x10, 3, false);
+    auto res = test::accessDir(*dir, 0x10, 5, false);
     EXPECT_TRUE(res.hit);
     DynamicBitset sharers;
     ASSERT_TRUE(dir->probe(0x10, &sharers));
@@ -117,10 +119,10 @@ TEST_P(DirectoryProtocol, SecondReaderHits)
 
 TEST_P(DirectoryProtocol, WriteInvalidatesOtherSharers)
 {
-    dir->access(0x20, 1, false);
-    dir->access(0x20, 2, false);
-    dir->access(0x20, 3, false);
-    auto res = dir->access(0x20, 1, true);
+    test::accessDir(*dir, 0x20, 1, false);
+    test::accessDir(*dir, 0x20, 2, false);
+    test::accessDir(*dir, 0x20, 3, false);
+    auto res = test::accessDir(*dir, 0x20, 1, true);
     EXPECT_TRUE(res.hit);
     ASSERT_TRUE(res.hadSharerInvalidations);
     EXPECT_FALSE(res.sharerInvalidations.test(1)); // writer excluded
@@ -130,16 +132,16 @@ TEST_P(DirectoryProtocol, WriteInvalidatesOtherSharers)
 
 TEST_P(DirectoryProtocol, WriteBySoleSharerInvalidatesNobody)
 {
-    dir->access(0x30, 4, false);
-    auto res = dir->access(0x30, 4, true);
+    test::accessDir(*dir, 0x30, 4, false);
+    auto res = test::accessDir(*dir, 0x30, 4, true);
     EXPECT_FALSE(res.hadSharerInvalidations);
 }
 
 TEST_P(DirectoryProtocol, WriteMissByNewCacheInvalidatesExistingSharers)
 {
-    dir->access(0x40, 0, false);
-    dir->access(0x40, 1, false);
-    auto res = dir->access(0x40, 7, true);
+    test::accessDir(*dir, 0x40, 0, false);
+    test::accessDir(*dir, 0x40, 1, false);
+    auto res = test::accessDir(*dir, 0x40, 7, true);
     ASSERT_TRUE(res.hadSharerInvalidations);
     EXPECT_TRUE(res.sharerInvalidations.test(0));
     EXPECT_TRUE(res.sharerInvalidations.test(1));
@@ -152,8 +154,8 @@ TEST_P(DirectoryProtocol, WriteMissByNewCacheInvalidatesExistingSharers)
 
 TEST_P(DirectoryProtocol, LastEvictionFreesEntry)
 {
-    dir->access(0x50, 2, false);
-    dir->access(0x50, 6, false);
+    test::accessDir(*dir, 0x50, 2, false);
+    test::accessDir(*dir, 0x50, 6, false);
     dir->removeSharer(0x50, 2);
     EXPECT_TRUE(dir->probe(0x50));
     dir->removeSharer(0x50, 6);
@@ -163,7 +165,7 @@ TEST_P(DirectoryProtocol, LastEvictionFreesEntry)
 
 TEST_P(DirectoryProtocol, RemoveUnknownSharerIsHarmless)
 {
-    dir->access(0x60, 1, false);
+    test::accessDir(*dir, 0x60, 1, false);
     dir->removeSharer(0x60, 9);   // never a sharer
     dir->removeSharer(0x999, 1);  // tag not tracked
     EXPECT_TRUE(dir->probe(0x60));
@@ -182,7 +184,7 @@ TEST_P(DirectoryProtocol, SharersNeverFalseNegative)
         if (roll < 0.5) {
             // read
             if (!truth[tag].count(cache)) {
-                auto res = dir->access(tag, cache, false);
+                auto res = test::accessDir(*dir, tag, cache, false);
                 truth[tag].insert(cache);
                 for (const auto &ev : res.forcedEvictions)
                     truth.erase(ev.tag);
@@ -193,7 +195,7 @@ TEST_P(DirectoryProtocol, SharersNeverFalseNegative)
                 truth[tag].size() == 1) {
                 continue; // sole owner write: no protocol change
             }
-            auto res = dir->access(tag, cache, true);
+            auto res = test::accessDir(*dir, tag, cache, true);
             truth[tag] = {cache};
             for (const auto &ev : res.forcedEvictions)
                 truth.erase(ev.tag);
@@ -224,9 +226,9 @@ TEST_P(DirectoryProtocol, SharersNeverFalseNegative)
 
 TEST_P(DirectoryProtocol, StatsCountInsertionsAndHits)
 {
-    dir->access(1, 0, false);
-    dir->access(1, 1, false);
-    dir->access(2, 0, false);
+    test::accessDir(*dir, 1, 0, false);
+    test::accessDir(*dir, 1, 1, false);
+    test::accessDir(*dir, 2, 0, false);
     const auto &s = dir->stats();
     EXPECT_EQ(s.lookups, 3u);
     EXPECT_EQ(s.insertions, 2u);
@@ -236,7 +238,7 @@ TEST_P(DirectoryProtocol, StatsCountInsertionsAndHits)
 
 TEST_P(DirectoryProtocol, ResetStatsKeepsEntries)
 {
-    dir->access(1, 0, false);
+    test::accessDir(*dir, 1, 0, false);
     dir->resetStats();
     EXPECT_EQ(dir->stats().lookups, 0u);
     EXPECT_TRUE(dir->probe(1));
@@ -257,9 +259,9 @@ TEST(SparseDirectory, ConflictForcesEviction)
     // 2-way sparse with 4 sets: three tags in the same set conflict
     // (the Fig. 3 example).
     auto dir = makeSparseDirectory(kCaches, 2, 4);
-    dir->access(0x00, 0, false); // set 0
-    dir->access(0x04, 1, false); // set 0
-    auto res = dir->access(0x08, 2, false); // set 0 again -> conflict
+    test::accessDir(*dir, 0x00, 0, false); // set 0
+    test::accessDir(*dir, 0x04, 1, false); // set 0
+    auto res = test::accessDir(*dir, 0x08, 2, false); // set 0 again -> conflict
     ASSERT_EQ(res.forcedEvictions.size(), 1u);
     EXPECT_EQ(res.forcedEvictions[0].tag, 0x00u); // LRU victim
     EXPECT_TRUE(res.forcedEvictions[0].targets.test(0));
@@ -270,9 +272,9 @@ TEST(SparseDirectory, ConflictForcesEviction)
 TEST(SparseDirectory, EvictedEntryTargetsAllSharers)
 {
     auto dir = makeSparseDirectory(kCaches, 1, 4);
-    dir->access(0x00, 3, false);
-    dir->access(0x00, 9, false);
-    auto res = dir->access(0x04, 1, false);
+    test::accessDir(*dir, 0x00, 3, false);
+    test::accessDir(*dir, 0x00, 9, false);
+    auto res = test::accessDir(*dir, 0x04, 1, false);
     ASSERT_EQ(res.forcedEvictions.size(), 1u);
     EXPECT_TRUE(res.forcedEvictions[0].targets.test(3));
     EXPECT_TRUE(res.forcedEvictions[0].targets.test(9));
@@ -287,7 +289,7 @@ TEST(CuckooDirectory, DisplacementAvoidsSparseConflict)
     CuckooDirectory dir(kCaches, 4, 256, SharerFormat::FullVector);
     Rng rng(5);
     for (int i = 0; i < 256; ++i) { // 25% occupancy
-        auto res = dir.access(rng.next() >> 8, 0, false);
+        auto res = test::accessDir(dir, rng.next() >> 8, 0, false);
         ASSERT_TRUE(res.inserted);
         ASSERT_TRUE(res.forcedEvictions.empty());
     }
@@ -303,7 +305,7 @@ TEST(CuckooDirectory, AttemptsRecordedInHistogram)
         const Tag tag = rng.next() >> 8;
         if (dir.probe(tag))
             continue;
-        dir.access(tag, 0, false);
+        test::accessDir(dir, tag, 0, false);
         ++inserts;
     }
     const auto &h = dir.stats().attemptHistogram;
@@ -324,7 +326,7 @@ TEST(CuckooDirectory, GiveUpInvalidatesDiscardedEntry)
         const Tag tag = rng.next() >> 3;
         if (dir.probe(tag))
             continue;
-        auto res = dir.access(tag, static_cast<CacheId>(i % kCaches),
+        auto res = test::accessDir(dir, tag, static_cast<CacheId>(i % kCaches),
                               false);
         if (res.insertDiscarded) {
             saw_discard = true;
@@ -346,7 +348,7 @@ TEST(SkewedDirectory, BreaksDirectConflictsButStillEvicts)
     Rng rng(8);
     // Fill well past capacity.
     for (int i = 0; i < 2000; ++i)
-        skewed->access(rng.next() >> 8, 0, false);
+        test::accessDir(*skewed, rng.next() >> 8, 0, false);
     EXPECT_GT(skewed->stats().forcedEvictions, 0u);
 }
 
@@ -360,8 +362,8 @@ TEST(SkewedVsSparse, SkewedHasFewerConflictsAtEqualSize)
     for (int i = 0; i < 4000; ++i) {
         // Bias low index bits to create hot sets.
         const Tag tag = (rng.next() >> 8 << 4) | (rng.below(4));
-        sparse->access(tag, 0, false);
-        skewed->access(tag, 0, false);
+        test::accessDir(*sparse, tag, 0, false);
+        test::accessDir(*skewed, tag, 0, false);
     }
     EXPECT_LT(skewed->stats().forcedInvalidationRate(),
               sparse->stats().forcedInvalidationRate());
@@ -389,9 +391,9 @@ TEST(CuckooVsAll, LowestInvalidationRateAtHalfCapacity)
         } else if (live.size() <
                    cuckoo->capacity() / 2) { // cap footprint at 0.5x
             const Tag tag = rng.next() >> 8;
-            cuckoo->access(tag, 0, false);
-            sparse->access(tag, 0, false);
-            skewed->access(tag, 0, false);
+            test::accessDir(*cuckoo, tag, 0, false);
+            test::accessDir(*sparse, tag, 0, false);
+            test::accessDir(*skewed, tag, 0, false);
             live.push_back(tag);
         }
     }
@@ -411,13 +413,13 @@ TEST(DuplicateTag, MirrorsCacheFramesWithoutConflicts)
     // reported first.
     DuplicateTagDirectory dir(4, 16, 2);
     for (Tag t = 0; t < 32; ++t) { // 16 sets x 2 ways
-        auto res = dir.access(t, 1, false);
+        auto res = test::accessDir(dir, t, 1, false);
         ASSERT_TRUE(res.forcedEvictions.empty()) << "tag " << t;
     }
     EXPECT_EQ(dir.validEntries(), 32u);
     // A further allocation in a full set without an eviction report
     // falls back to mirroring the cache's LRU eviction.
-    auto res = dir.access(32, 1, false);
+    auto res = test::accessDir(dir, 32, 1, false);
     EXPECT_EQ(res.forcedEvictions.size(), 1u);
 }
 
@@ -432,10 +434,10 @@ TEST(DuplicateTag, LookupWidthIsCachesTimesAssoc)
 TEST(DuplicateTag, WriteClearsOtherMirrors)
 {
     DuplicateTagDirectory dir(4, 16, 2);
-    dir.access(5, 0, false);
-    dir.access(5, 1, false);
-    dir.access(5, 2, false);
-    auto res = dir.access(5, 0, true);
+    test::accessDir(dir, 5, 0, false);
+    test::accessDir(dir, 5, 1, false);
+    test::accessDir(dir, 5, 2, false);
+    auto res = test::accessDir(dir, 5, 0, true);
     ASSERT_TRUE(res.hadSharerInvalidations);
     DynamicBitset sharers;
     ASSERT_TRUE(dir.probe(5, &sharers));
@@ -456,7 +458,7 @@ TEST(Tagless, SupersetNeverMissesSharer)
         const auto cache = static_cast<CacheId>(rng.below(8));
         if (rng.chance(0.6)) {
             if (!truth[tag].count(cache)) {
-                dir.access(tag, cache, false);
+                test::accessDir(dir, tag, cache, false);
                 truth[tag].insert(cache);
             }
         } else {
@@ -482,7 +484,7 @@ TEST(Tagless, CountsSpuriousInvalidations)
     for (int i = 0; i < 3000; ++i) {
         const Tag tag = rng.below(512);
         const auto cache = static_cast<CacheId>(rng.below(8));
-        dir.access(tag, cache, rng.chance(0.4));
+        test::accessDir(dir, tag, cache, rng.chance(0.4));
     }
     EXPECT_GT(dir.spuriousInvalidations(), 0u);
 }
@@ -492,7 +494,7 @@ TEST(Tagless, NeverForcesEvictions)
     TaglessDirectory dir(8, 16, 64, 2, 13);
     Rng rng(13);
     for (int i = 0; i < 5000; ++i)
-        dir.access(rng.next() >> 8, static_cast<CacheId>(rng.below(8)),
+        test::accessDir(dir, rng.next() >> 8, static_cast<CacheId>(rng.below(8)),
                    rng.chance(0.3));
     EXPECT_EQ(dir.stats().forcedEvictions, 0u);
 }
@@ -513,7 +515,7 @@ TEST(DirectoryFactory, BuildsEveryKind)
     for (DirectoryKind kind : kAllKinds) {
         auto dir = makeOrg(kind);
         ASSERT_NE(dir, nullptr) << directoryKindName(kind);
-        dir->access(1, 0, false);
+        test::accessDir(*dir, 1, 0, false);
         EXPECT_TRUE(dir->probe(1)) << directoryKindName(kind);
     }
 }

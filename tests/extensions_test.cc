@@ -17,6 +17,8 @@
 #include "directory/cuckoo_table.hh"
 #include "directory/elbow_directory.hh"
 
+#include "dir_test_util.hh"
+
 namespace cdir {
 namespace {
 
@@ -107,7 +109,7 @@ TEST(StashCuckoo, AbsorbsOverflowInsteadOfInvalidating)
         const Tag tag = rng.next() >> 3;
         if (dir.probe(tag))
             continue;
-        auto res = dir.access(tag, 0, false);
+        auto res = test::accessDir(dir, tag, 0, false);
         ASSERT_FALSE(res.insertDiscarded);
         inserted.insert(tag);
         if (inserted.size() > 24)
@@ -128,7 +130,7 @@ TEST(StashCuckoo, FullStashFallsBackToDiscard)
     while (dir.stats().forcedEvictions == 0 && attempts < 500) {
         const Tag tag = rng.next() >> 3;
         if (!dir.probe(tag))
-            dir.access(tag, 0, false);
+            test::accessDir(dir, tag, 0, false);
         ++attempts;
     }
     EXPECT_GT(dir.stats().forcedEvictions, 0u);
@@ -146,7 +148,7 @@ TEST(StashCuckoo, StashEntriesUpdateAndRetire)
     while (dir.stashSize() == 0) {
         const Tag tag = rng.next() >> 3;
         if (!dir.probe(tag)) {
-            dir.access(tag, 2, false);
+            test::accessDir(dir, tag, 2, false);
             tags.push_back(tag);
         }
     }
@@ -156,7 +158,7 @@ TEST(StashCuckoo, StashEntriesUpdateAndRetire)
     // the last sharer frees the entry.
     ASSERT_FALSE(tags.empty());
     for (Tag t : tags) {
-        auto res = dir.access(t, 5, false); // add sharer
+        auto res = test::accessDir(dir, t, 5, false); // add sharer
         EXPECT_TRUE(res.hit);
     }
     EXPECT_EQ(dir.validEntries(), entries_before);
@@ -177,7 +179,7 @@ TEST(StashCuckoo, DrainsBackIntoTableOnFrees)
         const Tag tag = rng.next() >> 3;
         if (dir.probe(tag))
             continue;
-        dir.access(tag, 0, false);
+        test::accessDir(dir, tag, 0, false);
         live.push_back(tag);
     }
     const std::size_t stash_before = dir.stashSize();
@@ -203,7 +205,7 @@ TEST(Elbow, SingleRelocationResolvesSimpleConflict)
     while (dir.relocations() == 0 && dir.validEntries() < 14) {
         const Tag tag = rng.next() >> 3;
         if (!dir.probe(tag))
-            dir.access(tag, 0, false);
+            test::accessDir(dir, tag, 0, false);
     }
     EXPECT_GT(dir.relocations(), 0u);
 }
@@ -211,9 +213,9 @@ TEST(Elbow, SingleRelocationResolvesSimpleConflict)
 TEST(Elbow, ProtocolSemanticsMatchOtherOrganizations)
 {
     ElbowDirectory dir(8, 4, 64, SharerFormat::FullVector);
-    dir.access(0x10, 1, false);
-    dir.access(0x10, 2, false);
-    auto res = dir.access(0x10, 1, true);
+    test::accessDir(dir, 0x10, 1, false);
+    test::accessDir(dir, 0x10, 2, false);
+    auto res = test::accessDir(dir, 0x10, 1, true);
     ASSERT_TRUE(res.hadSharerInvalidations);
     EXPECT_TRUE(res.sharerInvalidations.test(2));
     EXPECT_FALSE(res.sharerInvalidations.test(1));
@@ -243,8 +245,8 @@ TEST(Elbow, MoreForcedInvalidationsThanCuckooAtEqualSize)
             const Tag tag = rng.next() >> 4;
             if (elbow.probe(tag) || cuckoo.probe(tag))
                 continue;
-            elbow.access(tag, 0, false);
-            cuckoo.access(tag, 0, false);
+            test::accessDir(elbow, tag, 0, false);
+            test::accessDir(cuckoo, tag, 0, false);
             live.push_back(tag);
         }
     }

@@ -23,6 +23,8 @@
 #include "directory/directory.hh"
 #include "sim/experiment.hh"
 
+#include "dir_test_util.hh"
+
 namespace cdir {
 namespace {
 
@@ -82,11 +84,11 @@ lockstepCheck(Directory &dir, std::uint64_t seed, int steps,
             const auto &sharers = ref.all();
             auto it = sharers.find(tag);
             if (it == sharers.end() || !it->second.count(cache)) {
-                dir.access(tag, cache, false);
+                test::accessDir(dir, tag, cache, false);
                 ref.access(tag, cache, false);
             }
         } else if (roll < 0.65) {
-            dir.access(tag, cache, true);
+            test::accessDir(dir, tag, cache, true);
             ref.access(tag, cache, true);
         } else {
             // Caches only notify evictions of blocks they actually hold
@@ -113,8 +115,9 @@ lockstepCheck(Directory &dir, std::uint64_t seed, int steps,
                 << "tag " << tag << " cache " << c;
         }
     }
-    if (expect_exact_count)
+    if (expect_exact_count) {
         EXPECT_EQ(dir.validEntries(), ref_entries);
+    }
 }
 
 struct EquivCase
@@ -198,8 +201,8 @@ TEST(CuckooFormatComposition, CoarseWritesInvalidateSupersets)
     // must target at least the true sharers (possibly more).
     CuckooDirectory dir(64, 4, 64, SharerFormat::CoarseVector);
     for (CacheId c : {CacheId{1}, CacheId{17}, CacheId{33}})
-        dir.access(0x77, c, false);
-    auto res = dir.access(0x77, 1, true);
+        test::accessDir(dir, 0x77, c, false);
+    auto res = test::accessDir(dir, 0x77, 1, true);
     ASSERT_TRUE(res.hadSharerInvalidations);
     EXPECT_TRUE(res.sharerInvalidations.test(17));
     EXPECT_TRUE(res.sharerInvalidations.test(33));
@@ -210,8 +213,8 @@ TEST(CuckooFormatComposition, HierarchicalStaysPrecise)
 {
     CuckooDirectory dir(64, 4, 64, SharerFormat::Hierarchical);
     for (CacheId c : {CacheId{0}, CacheId{8}, CacheId{63}})
-        dir.access(0x99, c, false);
-    auto res = dir.access(0x99, 63, true);
+        test::accessDir(dir, 0x99, c, false);
+    auto res = test::accessDir(dir, 0x99, 63, true);
     ASSERT_TRUE(res.hadSharerInvalidations);
     EXPECT_EQ(res.sharerInvalidations.count(), 2u);
 }
@@ -231,10 +234,10 @@ TEST(CuckooFormatComposition, DiscardedCoarseEntryInvalidatesGroups)
         if (dir.probe(tag))
             continue;
         // Give each entry three sharers so it is coarse when evicted.
-        auto res = dir.access(tag, 1, false);
+        auto res = test::accessDir(dir, tag, 1, false);
         if (!res.insertDiscarded) {
-            dir.access(tag, 17, false);
-            dir.access(tag, 33, false);
+            test::accessDir(dir, tag, 17, false);
+            test::accessDir(dir, tag, 33, false);
         }
         for (const auto &evicted : res.forcedEvictions) {
             if (evicted.targets.count() >= 3) {

@@ -13,6 +13,8 @@
 
 #include "directory/registry.hh"
 
+#include "dir_test_util.hh"
+
 namespace cdir {
 namespace {
 
@@ -59,7 +61,7 @@ TEST(DirectoryRegistry, EveryNameRoundTripsThroughBuild)
         EXPECT_EQ(dir->numCaches(), p.numCaches);
         EXPECT_GT(dir->capacity(), 0u);
         // A built directory must be immediately usable.
-        auto res = dir->access(Tag{1}, CacheId{0}, false);
+        auto res = test::accessDir(*dir, Tag{1}, CacheId{0}, false);
         EXPECT_TRUE(res.inserted);
         EXPECT_TRUE(dir->probe(Tag{1}));
     }

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Sweep-engine coverage:
+ *
+ *  - ThreadPool runs every submitted task and parallelFor propagates
+ *    the first exception;
+ *  - a grid run with --jobs 1 and --jobs 8 yields *bit-identical*
+ *    ExperimentResult metrics in the same cell order (the determinism
+ *    contract: every cell owns its CmpSystem and workload RNG);
+ *  - two concurrent runExperiment calls on the same organization name
+ *    match the serial baseline (no shared mutable state behind the
+ *    registry or hash/Zipf machinery);
+ *  - the comma-OR cell filter and the CSV/JSON reporters behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "common/thread_pool.hh"
+#include "sim/sweep.hh"
+
+namespace cdir {
+namespace {
+
+// --- thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexAtAnyWidth)
+{
+    for (unsigned jobs : {1u, 3u, 8u}) {
+        std::vector<int> hits(257, 0);
+        parallelFor(jobs, hits.size(),
+                    [&](std::size_t i) { hits[i]++; });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i], 1) << "jobs " << jobs << " index " << i;
+    }
+}
+
+TEST(ParallelFor, PropagatesFirstException)
+{
+    EXPECT_THROW(parallelFor(4, 64,
+                             [](std::size_t i) {
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+// --- sweep determinism -------------------------------------------------------
+
+/** Small but non-trivial grid: 2 organizations x 2 workloads x 2
+ *  run lengths on a 4-core system. */
+SweepSpec
+smallGrid()
+{
+    SweepSpec spec;
+    CmpConfig base = CmpConfig::paperConfig(CmpConfigKind::SharedL2, 4);
+    base.privateCache = CacheConfig{64, 2};
+
+    CmpConfig cuckoo = base;
+    cuckoo.directory = cuckooSliceParams(4, 64);
+    spec.config("Cuckoo 4x64", cuckoo);
+    CmpConfig sparse = base;
+    sparse.directory = sparseSliceParams(8, 32);
+    spec.config("Sparse 8x32", sparse);
+
+    for (const std::uint64_t seed : {7u, 21u}) {
+        WorkloadParams wl;
+        wl.name = "wl" + std::to_string(seed);
+        wl.numCores = 4;
+        wl.seed = seed;
+        wl.codeBlocks = 128;
+        wl.sharedBlocks = 512;
+        wl.privateBlocksPerCore = 256;
+        spec.workload(wl.name, wl);
+    }
+
+    for (const std::uint64_t accesses : {20000u, 40000u}) {
+        ExperimentOptions opts;
+        opts.warmupAccesses = accesses;
+        opts.measureAccesses = accesses;
+        opts.occupancySampleEvery = 1000;
+        spec.options(std::to_string(accesses), opts);
+    }
+    return spec;
+}
+
+void
+expectIdentical(const SweepRecord &a, const SweepRecord &b)
+{
+    EXPECT_EQ(a.configLabel, b.configLabel);
+    EXPECT_EQ(a.workloadLabel, b.workloadLabel);
+    EXPECT_EQ(a.optionsLabel, b.optionsLabel);
+    // Bit-identical metrics: exact floating-point equality on purpose.
+    EXPECT_EQ(a.result.avgInsertionAttempts,
+              b.result.avgInsertionAttempts);
+    EXPECT_EQ(a.result.forcedInvalidationRate,
+              b.result.forcedInvalidationRate);
+    EXPECT_EQ(a.result.avgOccupancy, b.result.avgOccupancy);
+    EXPECT_EQ(a.result.directoryCapacity, b.result.directoryCapacity);
+    EXPECT_EQ(a.result.directory.lookups, b.result.directory.lookups);
+    EXPECT_EQ(a.result.directory.insertions,
+              b.result.directory.insertions);
+    EXPECT_EQ(a.result.directory.forcedEvictions,
+              b.result.directory.forcedEvictions);
+    EXPECT_EQ(a.result.system.cacheMisses, b.result.system.cacheMisses);
+    EXPECT_EQ(a.result.system.sharingInvalidations,
+              b.result.system.sharingInvalidations);
+    for (std::size_t i = 1; i <= 32; ++i)
+        EXPECT_EQ(a.result.attemptHistogram.at(i),
+                  b.result.attemptHistogram.at(i))
+            << "attempt bucket " << i;
+}
+
+TEST(SweepDeterminism, SerialAndEightJobsBitIdentical)
+{
+    const SweepSpec spec = smallGrid();
+    const auto serial = SweepRunner(SweepOptions{1, ""}).run(spec);
+    const auto parallel = SweepRunner(SweepOptions{8, ""}).run(spec);
+
+    ASSERT_EQ(serial.size(), spec.cellCount());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+    // The grid must actually have done directory work.
+    std::uint64_t inserts = 0;
+    for (const auto &rec : serial)
+        inserts += rec.result.directory.insertions;
+    EXPECT_GT(inserts, 0u);
+}
+
+TEST(SweepDeterminism, ConcurrentSameOrganizationMatchesSerial)
+{
+    // Two threads run the *same* organization name simultaneously; if
+    // any state were shared behind the registry, hash families, or
+    // workload samplers, results would diverge from the serial run.
+    CmpConfig cfg = CmpConfig::paperConfig(CmpConfigKind::SharedL2, 4);
+    cfg.privateCache = CacheConfig{64, 2};
+    cfg.directory = cuckooSliceParams(4, 64);
+    WorkloadParams wl;
+    wl.numCores = 4;
+    wl.seed = 99;
+    wl.codeBlocks = 128;
+    wl.sharedBlocks = 512;
+    wl.privateBlocksPerCore = 256;
+    ExperimentOptions opts;
+    opts.warmupAccesses = 30000;
+    opts.measureAccesses = 30000;
+
+    const ExperimentResult baseline = runExperiment(cfg, wl, opts);
+    ExperimentResult concurrent[2];
+    {
+        std::thread a(
+            [&] { concurrent[0] = runExperiment(cfg, wl, opts); });
+        std::thread b(
+            [&] { concurrent[1] = runExperiment(cfg, wl, opts); });
+        a.join();
+        b.join();
+    }
+    for (const ExperimentResult &res : concurrent) {
+        EXPECT_EQ(res.directory.lookups, baseline.directory.lookups);
+        EXPECT_EQ(res.directory.insertions,
+                  baseline.directory.insertions);
+        EXPECT_EQ(res.directory.forcedEvictions,
+                  baseline.directory.forcedEvictions);
+        EXPECT_EQ(res.avgInsertionAttempts,
+                  baseline.avgInsertionAttempts);
+        EXPECT_EQ(res.avgOccupancy, baseline.avgOccupancy);
+        EXPECT_EQ(res.system.cacheMisses, baseline.system.cacheMisses);
+    }
+}
+
+// --- filter ------------------------------------------------------------------
+
+TEST(SweepFilter, CommaSeparatedSubstringsMatchAny)
+{
+    SweepRunner runner(SweepOptions{1, "Cuckoo,wl21"});
+    EXPECT_TRUE(runner.matchesFilter("Cuckoo 4x64/wl7/20000"));
+    EXPECT_TRUE(runner.matchesFilter("Sparse 8x32/wl21/20000"));
+    EXPECT_FALSE(runner.matchesFilter("Sparse 8x32/wl7/20000"));
+    EXPECT_TRUE(SweepRunner(SweepOptions{1, ""})
+                    .matchesFilter("anything at all"));
+}
+
+TEST(SweepFilter, RunOnlyExecutesMatchingCells)
+{
+    SweepSpec spec = smallGrid();
+    const auto records =
+        SweepRunner(SweepOptions{2, "Cuckoo"}).run(spec);
+    ASSERT_EQ(records.size(), spec.cellCount() / 2);
+    for (const auto &rec : records) {
+        EXPECT_EQ(rec.configLabel, "Cuckoo 4x64");
+        EXPECT_GT(rec.result.directory.lookups, 0u);
+    }
+}
+
+// --- reporters ---------------------------------------------------------------
+
+/** Capture Reporter output through a temporary FILE. */
+std::string
+emitted(ReportFormat format, const ReportTable &table)
+{
+    std::FILE *f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    {
+        Reporter reporter(format, f);
+        reporter.table(table);
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string out(static_cast<std::size_t>(size), '\0');
+    EXPECT_EQ(std::fread(out.data(), 1, out.size(), f), out.size());
+    std::fclose(f);
+    return out;
+}
+
+ReportTable
+sampleTable()
+{
+    ReportTable table("sample", {"name", "value", "rate"});
+    table.addRow(
+        {cellText("alpha"), cellNum(1.25, "%.2f"), cellPct(0.5)});
+    table.addRow({cellText("beta, quoted"), cellNum(2.0, "%.2f"),
+                  cellMissing()});
+    return table;
+}
+
+TEST(Reporter, CsvEmitsRawValuesAndQuotes)
+{
+    const std::string csv = emitted(ReportFormat::Csv, sampleTable());
+    EXPECT_NE(csv.find("# sample\n"), std::string::npos);
+    EXPECT_NE(csv.find("name,value,rate\n"), std::string::npos);
+    EXPECT_NE(csv.find("alpha,1.25,0.5\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"beta, quoted\",2,-\n"), std::string::npos);
+}
+
+TEST(Reporter, JsonIsWellFormedArray)
+{
+    const std::string json = emitted(ReportFormat::Json, sampleTable());
+    ASSERT_GE(json.size(), 3u);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']'); // trailing newline
+    EXPECT_NE(json.find("\"title\": \"sample\""), std::string::npos);
+    EXPECT_NE(json.find("[\"alpha\", 1.25, 0.5]"), std::string::npos);
+    // An empty report is still valid JSON.
+    std::FILE *f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    { Reporter reporter(ReportFormat::Json, f); }
+    std::fseek(f, 0, SEEK_SET);
+    char buf[8] = {};
+    EXPECT_GT(std::fread(buf, 1, sizeof buf, f), 0u);
+    EXPECT_EQ(std::strncmp(buf, "[]", 2), 0);
+    std::fclose(f);
+}
+
+TEST(Reporter, TableAlignsColumns)
+{
+    const std::string text = emitted(ReportFormat::Table, sampleTable());
+    EXPECT_NE(text.find("=== sample ==="), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("50.000%"), std::string::npos);
+}
+
+// --- shared CLI --------------------------------------------------------------
+
+TEST(HarnessCli, ParsesSharedFlagsAndIgnoresOthers)
+{
+    const char *argv[] = {"prog",          "positional",
+                          "--jobs=5",      "--format=json",
+                          "--filter=a,b",  "--scale=3",
+                          "--warmup=1000", "--measure=2000",
+                          "--ops=42"};
+    const HarnessOptions opts = parseHarnessOptions(
+        static_cast<int>(std::size(argv)), const_cast<char **>(argv));
+    EXPECT_EQ(opts.jobs, 5u);
+    EXPECT_EQ(opts.format, ReportFormat::Json);
+    EXPECT_EQ(opts.filter, "a,b");
+    EXPECT_EQ(opts.scale, 3u);
+    ExperimentOptions exp;
+    exp = opts.applyOverrides(exp);
+    EXPECT_EQ(exp.warmupAccesses, 1000u);
+    EXPECT_EQ(exp.measureAccesses, 2000u);
+}
+
+} // namespace
+} // namespace cdir
