@@ -84,6 +84,7 @@ main(int argc, char **argv)
     const std::uint64_t values =
         bench::flagU64(argc, argv, "values", 400000);
     warnFilterUnused(cli);
+    warnTraceUnused(cli);
     const SweepRunner runner(cli.sweep());
 
     const auto series = runner.map<AritySeries>(

@@ -30,12 +30,14 @@ main(int argc, char **argv)
 
     const CmpConfigKind kinds[] = {CmpConfigKind::SharedL2,
                                    CmpConfigKind::PrivateL2};
+    std::vector<SweepSpec> specs;
     std::vector<std::vector<SweepRecord>> byKind;
     for (CmpConfigKind kind : kinds) {
         SweepSpec spec = paperSweep(kind, cli);
         spec.config(configName(kind),
                     paperConfigWith(kind, selectedCuckoo(kind)));
         byKind.push_back(runner.run(spec));
+        specs.push_back(std::move(spec));
     }
 
     // The paper's occupancy axis is relative to the worst-case number
@@ -47,14 +49,13 @@ main(int argc, char **argv)
                       "(% of worst-case tracked blocks)",
                       {"workload", "Shared L2", "Private L2", "raw S",
                        "raw P"});
-    const std::size_t workloads = allPaperWorkloads().size();
+    const std::size_t workloads = specs[0].workloads().size();
     std::vector<RecordGrid> grids;
     for (const auto &records : byKind)
         grids.emplace_back(records, 1, workloads);
     for (std::size_t w = 0; w < workloads; ++w) {
         std::vector<ReportCell> row;
-        row.push_back(
-            cellText(paperWorkloadName(allPaperWorkloads()[w])));
+        row.push_back(cellText(specs[0].workloads()[w].label));
         for (int raw = 0; raw < 2; ++raw) {
             for (std::size_t k = 0; k < 2; ++k) {
                 const SweepRecord *rec = grids[k].at(0, w);

@@ -24,7 +24,7 @@ main(int argc, char **argv)
 
     const CmpConfigKind kinds[] = {CmpConfigKind::SharedL2,
                                    CmpConfigKind::PrivateL2};
-    const std::size_t workloads = allPaperWorkloads().size();
+    std::vector<SweepSpec> specs;
     std::vector<RecordGrid> grids;
     std::vector<std::vector<SweepRecord>> byKind;
     for (CmpConfigKind kind : kinds) {
@@ -32,16 +32,18 @@ main(int argc, char **argv)
         spec.config(configName(kind),
                     paperConfigWith(kind, selectedCuckoo(kind)));
         byKind.push_back(runner.run(spec));
-        grids.emplace_back(byKind.back(), 1, workloads);
+        specs.push_back(std::move(spec));
     }
+    const std::size_t workloads = specs[0].workloads().size();
+    for (const auto &records : byKind)
+        grids.emplace_back(records, 1, workloads);
 
     ReportTable table(
         "Fig. 10: Cuckoo directory average insertion attempts",
         {"workload", "Shared L2", "Private L2"});
     for (std::size_t w = 0; w < workloads; ++w) {
         std::vector<ReportCell> row;
-        row.push_back(
-            cellText(paperWorkloadName(allPaperWorkloads()[w])));
+        row.push_back(cellText(specs[0].workloads()[w].label));
         for (std::size_t k = 0; k < 2; ++k) {
             const SweepRecord *rec = grids[k].at(0, w);
             row.push_back(rec ? cellNum(rec->result.avgInsertionAttempts)

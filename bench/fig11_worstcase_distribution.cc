@@ -41,6 +41,7 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    warnTraceUnused(cli);
     const SweepRunner runner(cli.sweep());
 
     // Both worst cases form one two-cell grid; map() runs the two

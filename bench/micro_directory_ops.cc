@@ -8,15 +8,16 @@
  * constant-time claims of the Cuckoo organization hold in this
  * implementation, and the proof of the allocation-free redesign:
  *
- *  - BM_LegacyAccessChurn drives the deprecated value-returning
- *    access(tag, cache, is_write) shim ("before");
+ *  - BM_SnapshotAccessChurn reproduces the removed value-returning
+ *    access() shim's cost — an owning DirAccessResult snapshot taken
+ *    after every request ("before");
  *  - BM_ContextAccessChurn drives the same stream through a reusable
  *    DirAccessContext ("after");
  *  - BM_AccessBatch drives whole DirRequest spans through accessBatch.
  *
  * Each reports an `allocs/op` counter from a global operator-new hook;
  * after warmup the context/batch paths must report 0.00 while the
- * legacy shim pays for its owning snapshot on every call.
+ * snapshot path pays for its owning copy on every call.
  */
 
 #include <benchmark/benchmark.h>
@@ -92,12 +93,11 @@ BM_Probe(benchmark::State &state, const std::string &org)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
-/** Before: every access pays for an owning DirAccessResult snapshot.
- *  Benchmarking the deprecated shim is this function's whole point. */
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/** Before: every access pays for an owning DirAccessResult snapshot —
+ *  the exact cost profile of the removed value-returning shim (reused
+ *  scratch context, owning copy of each outcome). */
 void
-BM_LegacyAccessChurn(benchmark::State &state, const std::string &org)
+BM_SnapshotAccessChurn(benchmark::State &state, const std::string &org)
 {
     auto dir = build(org);
     DirAccessContext ctx = dir->makeContext();
@@ -105,6 +105,11 @@ BM_LegacyAccessChurn(benchmark::State &state, const std::string &org)
     warm(*dir, ctx, live, 2048);
     Rng rng(7);
     std::size_t i = 0;
+    auto access_snapshot = [&](Tag tag, CacheId cache, bool is_write) {
+        ctx.reset();
+        dir->access(DirRequest{tag, cache, is_write}, ctx);
+        return ctx.snapshot(0);
+    };
     const std::size_t allocs_before = allocationCount();
     for (auto _ : state) {
         // retire one, insert one with a sharer and a write upgrade:
@@ -114,9 +119,9 @@ BM_LegacyAccessChurn(benchmark::State &state, const std::string &org)
         const auto peer = static_cast<CacheId>((k + 1) % kCaches);
         dir->removeSharer(live[k], cache);
         const Tag fresh = rng.next() >> 8;
-        benchmark::DoNotOptimize(dir->access(fresh, cache, false));
-        benchmark::DoNotOptimize(dir->access(fresh, peer, false));
-        benchmark::DoNotOptimize(dir->access(fresh, cache, true));
+        benchmark::DoNotOptimize(access_snapshot(fresh, cache, false));
+        benchmark::DoNotOptimize(access_snapshot(fresh, peer, false));
+        benchmark::DoNotOptimize(access_snapshot(fresh, cache, true));
         live[k] = fresh;
     }
     state.SetItemsProcessed(
@@ -125,7 +130,6 @@ BM_LegacyAccessChurn(benchmark::State &state, const std::string &org)
         static_cast<double>(allocationCount() - allocs_before),
         benchmark::Counter::kAvgIterations);
 }
-#pragma GCC diagnostic pop
 
 /** After: the same churn through a reusable DirAccessContext. */
 void
@@ -139,7 +143,7 @@ BM_ContextAccessChurn(benchmark::State &state, const std::string &org)
     std::size_t i = 0;
     const std::size_t allocs_before = allocationCount();
     for (auto _ : state) {
-        // Identical operation stream to BM_LegacyAccessChurn.
+        // Identical operation stream to BM_SnapshotAccessChurn.
         const std::size_t k = i++ % live.size();
         const auto cache = static_cast<CacheId>(k % kCaches);
         const auto peer = static_cast<CacheId>((k + 1) % kCaches);
@@ -214,7 +218,7 @@ registerBenchmarks()
     };
     const Family families[] = {
         {"BM_Probe", BM_Probe},
-        {"BM_LegacyAccessChurn", BM_LegacyAccessChurn},
+        {"BM_SnapshotAccessChurn", BM_SnapshotAccessChurn},
         {"BM_ContextAccessChurn", BM_ContextAccessChurn},
         {"BM_AccessBatch", BM_AccessBatch},
     };

@@ -13,6 +13,9 @@
 #ifndef CDIR_BENCH_SIM_COMMON_HH
 #define CDIR_BENCH_SIM_COMMON_HH
 
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,15 +51,29 @@ paperConfigWith(CmpConfigKind kind, const DirectoryParams &dir)
 }
 
 /**
- * Sweep spec over the full Table 2 workload axis for @p kind, with the
- * tuned run lengths (respecting the CLI --scale/--warmup/--measure).
- * The caller appends its config axis points.
+ * Sweep spec over the workload axis for @p kind, with the tuned run
+ * lengths (respecting the CLI --scale/--warmup/--measure). The axis is
+ * the full Table 2 suite — or, with --trace=<file|dir>, one point per
+ * recorded trace file replayed through the grid instead. The caller
+ * appends its config axis points.
  */
 inline SweepSpec
 paperSweep(CmpConfigKind kind, const HarnessOptions &cli)
 {
     SweepSpec spec;
     spec.options("", cli.applyOverrides(optionsFor(kind, cli.scale)));
+    if (!cli.trace.empty()) {
+        try {
+            appendTraceWorkloads(spec, cli.trace);
+        } catch (const std::runtime_error &e) {
+            // A bad --trace path is an operator error, not a bug:
+            // exit cleanly instead of aborting through an uncaught
+            // exception in the harness main.
+            std::fprintf(stderr, "--trace: %s\n", e.what());
+            std::exit(2);
+        }
+        return spec;
+    }
     const bool private_l2 = kind == CmpConfigKind::PrivateL2;
     for (PaperWorkload w : allPaperWorkloads())
         spec.workload(paperWorkloadName(w),

@@ -33,6 +33,7 @@ main(int argc, char **argv)
         }
     }
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    warnTraceUnused(cli);
 
     struct Contender
     {

@@ -1,48 +1,36 @@
 /**
  * @file
- * Example: recording and replaying memory traces.
+ * Example: the record/replay pipeline.
  *
- * Records a synthetic workload to a portable text trace, then replays
- * the file through a fresh CMP and verifies the two systems agree —
- * the workflow for feeding *external* traces (gem5, champsim, custom
- * pintools) into the directory experiments: convert to
- * `<core> <block-addr-hex> <r|w|i>` lines and point TraceReader at the
- * file.
+ * Records a synthetic workload to disk in both trace formats through a
+ * TraceRecorder, replays each file through a fresh CMP, and verifies
+ * all three systems agree — the workflow for feeding *external* traces
+ * (gem5, champsim, custom pintools) into the directory experiments:
+ * convert to `<core> <block-addr-hex> <r|w|i>` lines (or the compact
+ * CDTR binary format) and replay with --trace.
  *
- *   $ ./trace_replay [path] [accesses]
+ *   $ ./trace_replay [--trace=FILE] [path-prefix] [accesses]
+ *
+ * With --trace=FILE the recording step is skipped and FILE (either
+ * format, sniffed) is replayed instead.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "sim/cmp_system.hh"
 #include "workload/trace.hh"
 
 using namespace cdir;
 
-int
-main(int argc, char **argv)
+namespace {
+
+/** CMP the example replays into (16-core Shared-L2, Cuckoo 4x512). */
+CmpConfig
+exampleConfig()
 {
-    const std::string path =
-        argc > 1 ? argv[1] : "/tmp/cuckoo_directory_example.trace";
-    const std::uint64_t accesses =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
-
-    // 1. Record: a DSS-like workload streamed to disk.
-    const WorkloadParams params =
-        paperWorkloadParams(PaperWorkload::DssQry2, false);
-    {
-        SyntheticWorkload generator(params);
-        TraceWriter writer(path);
-        for (std::uint64_t i = 0; i < accesses; ++i)
-            writer.write(generator.next());
-        std::printf("recorded %llu accesses of '%s' to %s\n",
-                    static_cast<unsigned long long>(
-                        writer.recordsWritten()),
-                    params.name.c_str(), path.c_str());
-    }
-
-    // 2. Replay into a 16-core Shared-L2 CMP with a Cuckoo directory.
     CmpConfig cfg = CmpConfig::paperConfig(CmpConfigKind::SharedL2);
     cfg.directory.organization = "Cuckoo";
     cfg.directory.ways = 4;
@@ -50,34 +38,102 @@ main(int argc, char **argv)
     // Batched driver: per-slice accessBatch over 64-reference windows.
     // Invalidation feedback lands at batch boundaries, so counts can
     // differ slightly from batchWindow = 1 (the exact serial protocol);
-    // both systems below use the same window, so they stay comparable.
+    // every system in this example uses the same window, so they stay
+    // comparable.
     cfg.batchWindow = 64;
+    return cfg;
+}
+
+DirectoryStats
+replayFile(const CmpConfig &cfg, const std::string &path,
+           std::uint64_t limit)
+{
+    CmpSystem system(cfg);
+    const std::unique_ptr<AccessSource> reader = makeTraceReader(
+        path, TraceReadOptions{cfg.numCores, /*strict=*/true});
+    const std::uint64_t executed = system.run(*reader, limit);
+    const DirectoryStats stats = system.aggregateDirectoryStats();
+    std::printf("  %-44s %llu accesses, %llu insertions\n", path.c_str(),
+                static_cast<unsigned long long>(executed),
+                static_cast<unsigned long long>(stats.insertions));
+    return stats;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string external;
+    std::string prefix = "/tmp/cuckoo_directory_example";
+    std::uint64_t accesses = 200000;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            external = argv[i] + 8;
+        else if (positional++ == 0)
+            prefix = argv[i];
+        else
+            accesses = std::strtoull(argv[i], nullptr, 10);
+    }
+
+    const CmpConfig cfg = exampleConfig();
     std::printf("driver: batchWindow=%zu (batched accessBatch protocol; "
                 "set to 1 for the exact serial driver)\n",
                 cfg.batchWindow);
 
-    CmpSystem replayed(cfg);
-    TraceReader reader(path);
-    const std::uint64_t executed = replayed.run(reader, accesses);
+    if (!external.empty()) {
+        // Replay an externally recorded trace (either format).
+        std::printf("replaying external trace:\n");
+        replayFile(cfg, external, ~std::uint64_t{0});
+        return 0;
+    }
 
-    // 3. Cross-check against driving the generator directly.
-    CmpSystem direct(cfg);
-    SyntheticWorkload generator(params);
-    direct.run(generator, accesses);
+    // 1. Record: a DSS-like workload teed to disk in both formats while
+    //    it drives the "live" system.
+    const std::string text_path = prefix + ".trace";
+    const std::string binary_path = prefix + ".ctr";
+    const WorkloadParams params =
+        paperWorkloadParams(PaperWorkload::DssQry2, false);
+    CmpSystem live(cfg);
+    {
+        SyntheticSource source(params);
+        const std::unique_ptr<TraceSink> text_sink =
+            makeTraceSink(text_path, /*binary=*/false);
+        const std::unique_ptr<TraceSink> binary_sink =
+            makeTraceSink(binary_path, /*binary=*/true);
+        // Recorders stack: source -> binary tee -> text tee -> system.
+        TraceRecorder binary_tee(source, *binary_sink);
+        TraceRecorder text_tee(binary_tee, *text_sink);
+        live.run(text_tee, accesses);
+        // Explicit close() surfaces buffered write failures (ENOSPC)
+        // here, instead of as a baffling replay mismatch below.
+        text_sink->close();
+        binary_sink->close();
+        std::printf("recorded %llu accesses of '%s' to %s and %s\n",
+                    static_cast<unsigned long long>(
+                        text_sink->recordsWritten()),
+                    params.name.c_str(), text_path.c_str(),
+                    binary_path.c_str());
+    }
 
-    const auto rep = replayed.aggregateDirectoryStats();
-    const auto dir = direct.aggregateDirectoryStats();
-    std::printf("replayed %llu accesses: %llu directory insertions "
-                "(direct run: %llu) -> %s\n",
-                static_cast<unsigned long long>(executed),
-                static_cast<unsigned long long>(rep.insertions),
-                static_cast<unsigned long long>(dir.insertions),
-                rep.insertions == dir.insertions ? "identical"
-                                                 : "MISMATCH");
-    std::printf("occupancy: replay %.4f vs direct %.4f\n",
-                replayed.currentOccupancy(), direct.currentOccupancy());
-    std::printf("malformed lines skipped: %llu\n",
-                static_cast<unsigned long long>(
-                    reader.malformedLines()));
-    return rep.insertions == dir.insertions ? 0 : 1;
+    // 2. Replay both files into fresh systems; all stats must agree
+    //    with the live run exactly.
+    std::printf("replaying:\n");
+    const DirectoryStats from_text = replayFile(cfg, text_path, accesses);
+    const DirectoryStats from_binary =
+        replayFile(cfg, binary_path, accesses);
+    const DirectoryStats direct = live.aggregateDirectoryStats();
+
+    const bool identical =
+        from_text.insertions == direct.insertions &&
+        from_binary.insertions == direct.insertions &&
+        from_text.forcedEvictions == direct.forcedEvictions &&
+        from_binary.forcedEvictions == direct.forcedEvictions &&
+        from_text.hits == direct.hits &&
+        from_binary.hits == direct.hits;
+    std::printf("live run: %llu insertions -> %s\n",
+                static_cast<unsigned long long>(direct.insertions),
+                identical ? "all replays identical" : "MISMATCH");
+    return identical ? 0 : 1;
 }

@@ -38,7 +38,6 @@ class AssocDirectory : public Directory
                    SharerFormat format, HashKind hash,
                    std::uint64_t hash_seed = 1);
 
-    using Directory::access;
     void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;

@@ -45,7 +45,6 @@ class CuckooDirectory : public Directory
                     unsigned max_attempts = 32, std::uint64_t hash_seed = 1,
                     unsigned bucket_slots = 1, unsigned stash_entries = 0);
 
-    using Directory::access;
     void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;

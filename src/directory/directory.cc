@@ -14,15 +14,6 @@ Directory::accessBatch(std::span<const DirRequest> requests,
         access(request, ctx);
 }
 
-DirAccessResult
-Directory::access(Tag tag, CacheId cache, bool is_write)
-{
-    legacyCtx.bind(caches);
-    legacyCtx.reset();
-    access(DirRequest{tag, cache, is_write}, legacyCtx);
-    return legacyCtx.snapshot(0);
-}
-
 std::unique_ptr<SharerRep>
 Directory::acquireRep(SharerFormat format)
 {

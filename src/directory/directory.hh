@@ -18,9 +18,10 @@
  *
  * Results are recorded into a caller-owned, reusable DirAccessContext
  * (see access_context.hh); accessBatch() drives a whole span of requests
- * through one context, which is what the CMP driver does per slice. A
- * value-returning access(tag, cache, is_write) shim remains for
- * convenience call sites but allocates and is deprecated for hot paths.
+ * through one context, which is what the CMP driver does per slice.
+ * Call sites that want value semantics off the hot path take a
+ * DirAccessResult snapshot via DirAccessContext::snapshot() (the
+ * historical value-returning access() shim has been removed).
  *
  * Every organization reports the same statistics, so the Fig. 8-12
  * harnesses can iterate over organizations generically. Organizations
@@ -105,16 +106,6 @@ class Directory
     virtual void accessBatch(std::span<const DirRequest> requests,
                              DirAccessContext &ctx);
 
-    /**
-     * Value-returning convenience shim over the context protocol.
-     * @deprecated Allocates per call — use access(request, ctx) or
-     * accessBatch(). Every in-tree caller has been migrated; the shim
-     * will be removed in a future PR.
-     */
-    [[deprecated("use access(request, ctx) / accessBatch(); the "
-                 "value-returning shim will be removed")]]
-    DirAccessResult access(Tag tag, CacheId cache, bool is_write);
-
     /** Private cache @p cache evicted block @p tag. */
     virtual void removeSharer(Tag tag, CacheId cache) = 0;
 
@@ -188,8 +179,6 @@ class Directory
 
   private:
     std::vector<std::unique_ptr<SharerRep>> repPool;
-    /** Scratch context backing the deprecated value-returning shim. */
-    DirAccessContext legacyCtx;
 };
 
 /**

@@ -36,7 +36,6 @@ class DuplicateTagDirectory : public Directory
     DuplicateTagDirectory(std::size_t num_caches, std::size_t sets,
                           unsigned cache_assoc);
 
-    using Directory::access;
     void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;

@@ -41,7 +41,6 @@ class ElbowDirectory : public Directory
                    std::size_t sets, SharerFormat format,
                    std::uint64_t hash_seed = 1);
 
-    using Directory::access;
     void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;

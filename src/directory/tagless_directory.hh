@@ -102,7 +102,6 @@ class TaglessDirectory : public Directory
                      std::size_t bucket_bits = 64, unsigned num_grids = 2,
                      std::uint64_t seed = 1);
 
-    using Directory::access;
     void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;

@@ -135,7 +135,7 @@ class CmpSystem
              std::uint64_t sample_every);
 
     /**
-     * Drive from any AccessSource (e.g. a TraceReader) until @p count
+     * Drive from any AccessSource (e.g. a trace reader) until @p count
      * accesses have run or the source is exhausted.
      * @return accesses actually executed.
      */

@@ -7,11 +7,28 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
               const ExperimentOptions &options)
 {
     CmpSystem system(config);
-    SyntheticWorkload gen(workload);
 
-    system.run(gen, options.warmupAccesses);
-    system.resetStats();
-    system.run(gen, options.measureAccesses, options.occupancySampleEvery);
+    if (!workload.tracePath.empty()) {
+        // Trace cell: replay the file through the same warmup-then-
+        // measure methodology. Each call opens an independent strict
+        // reader (bounded to the system's core count), so concurrent
+        // sweep cells over one trace file share nothing and any --jobs
+        // value yields bit-identical results. A trace shorter than
+        // warmup + measure simply ends early (system.accesses records
+        // how much actually ran).
+        const std::unique_ptr<AccessSource> source = makeTraceReader(
+            workload.tracePath, TraceReadOptions{config.numCores, true});
+        system.run(*source, options.warmupAccesses);
+        system.resetStats();
+        system.run(*source, options.measureAccesses,
+                   options.occupancySampleEvery);
+    } else {
+        SyntheticWorkload gen(workload);
+        system.run(gen, options.warmupAccesses);
+        system.resetStats();
+        system.run(gen, options.measureAccesses,
+                   options.occupancySampleEvery);
+    }
 
     ExperimentResult result;
     result.workload = workload.name;

@@ -46,7 +46,9 @@ struct ExperimentOptions
 
 /**
  * Run one experiment: construct the system, warm it (statistics
- * discarded), then measure.
+ * discarded), then measure. A workload with a non-empty tracePath is
+ * replayed from its file (fresh reader per call, so concurrent cells
+ * are independent) instead of generated synthetically.
  */
 ExperimentResult runExperiment(const CmpConfig &config,
                                const WorkloadParams &workload,

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string_view>
+
+#include "workload/trace.hh"
 
 namespace cdir {
 
@@ -46,6 +49,35 @@ sweepCellLabel(const std::string &config_label,
         label += options_label;
     }
     return label;
+}
+
+void
+appendTraceWorkloads(SweepSpec &spec, const std::string &path)
+{
+    const std::vector<std::string> files = listTraceFiles(path);
+
+    // Label by stem, but fall back to the full filename when stems
+    // collide (e.g. a corpus holding oltp.ctr and oltp.trace) so axis
+    // labels stay unique and --filter can tell the cells apart.
+    std::vector<WorkloadParams> params;
+    params.reserve(files.size());
+    for (const std::string &file : files)
+        params.push_back(traceWorkloadParams(file));
+    const auto stem_collides = [&](std::size_t i) {
+        for (std::size_t j = 0; j < files.size(); ++j)
+            if (j != i && std::filesystem::path(files[j]).stem() ==
+                              std::filesystem::path(files[i]).stem())
+                return true;
+        return false;
+    };
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        std::string label =
+            stem_collides(i)
+                ? std::filesystem::path(files[i]).filename().string()
+                : params[i].name;
+        params[i].name = label;
+        spec.workload(std::move(label), std::move(params[i]));
+    }
 }
 
 SweepRunner::SweepRunner(SweepOptions options) : opts(std::move(options)) {}
@@ -101,17 +133,53 @@ SweepRunner::run(const SweepSpec &spec) const
         }
     }
 
+    // A cell that throws (a trace cell's strict reader hitting a bad
+    // record, an out-of-range core id for this grid's CMP) is dropped
+    // like a filtered-out cell — consumers already render missing
+    // cells as '-' — instead of aborting the whole harness through an
+    // uncaught exception in main. Messages are emitted serially after
+    // the sweep so output stays deterministic.
+    std::vector<std::string> failures(records.size());
     parallelFor(opts.jobs, records.size(), [&](std::size_t i) {
         SweepRecord &rec = records[i];
         const OptionsAxisPoint &opt =
             spec.optionsAxis().empty()
                 ? default_options
                 : spec.optionsAxis()[rec.optionsIndex];
-        rec.result = runExperiment(
-            spec.configs()[rec.configIndex].config,
-            spec.workloads()[rec.workloadIndex].workload, opt.options);
+        try {
+            rec.result = runExperiment(
+                spec.configs()[rec.configIndex].config,
+                spec.workloads()[rec.workloadIndex].workload,
+                opt.options);
+        } catch (const std::exception &e) {
+            failures[i] = e.what();
+        }
     });
-    return records;
+    std::vector<SweepRecord> surviving;
+    surviving.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const std::string label = sweepCellLabel(
+            records[i].configLabel, records[i].workloadLabel,
+            records[i].optionsLabel);
+        if (!failures[i].empty()) {
+            std::fprintf(stderr, "sweep cell '%s' failed: %s\n",
+                         label.c_str(), failures[i].c_str());
+            continue;
+        }
+        // An all-zero cell from a trace exhausted during warmup looks
+        // exactly like a perfect result; never let it pass silently.
+        const bool trace_cell =
+            !spec.workloads()[records[i].workloadIndex]
+                 .workload.tracePath.empty();
+        if (trace_cell && records[i].result.system.accesses == 0)
+            std::fprintf(stderr,
+                         "sweep cell '%s': trace exhausted during "
+                         "warmup — 0 accesses measured (shrink "
+                         "--warmup= or record a longer trace)\n",
+                         label.c_str());
+        surviving.push_back(std::move(records[i]));
+    }
+    return surviving;
 }
 
 // --- report cells ------------------------------------------------------------
@@ -369,11 +437,8 @@ Reporter::note(const std::string &text)
 
 // --- shared harness CLI ------------------------------------------------------
 
-namespace {
-
-/** Value of a "--name=value" argument, or nullptr. */
 const char *
-flagValue(const char *arg, const char *name)
+cliFlagValue(const char *arg, const char *name)
 {
     const std::size_t len = std::strlen(name);
     if (std::strncmp(arg, "--", 2) != 0)
@@ -382,6 +447,8 @@ flagValue(const char *arg, const char *name)
         return nullptr;
     return arg + 2 + len + 1;
 }
+
+namespace {
 
 [[noreturn]] void
 usage(const char *bad)
@@ -398,7 +465,10 @@ usage(const char *bad)
         "                        contains one of the substrings\n"
         "  --scale=N             run-length multiplier\n"
         "  --warmup=N            override warmup access count\n"
-        "  --measure=N           override measured access count\n",
+        "  --measure=N           override measured access count\n"
+        "  --trace=FILE|DIR      replay recorded traces as the workload "
+        "axis\n"
+        "                        (a directory is swept in sorted order)\n",
         bad);
     std::exit(2);
 }
@@ -425,9 +495,9 @@ parseHarnessOptions(int argc, char **argv)
 {
     HarnessOptions opts;
     for (int i = 1; i < argc; ++i) {
-        if (const char *v = flagValue(argv[i], "jobs")) {
+        if (const char *v = cliFlagValue(argv[i], "jobs")) {
             opts.jobs = static_cast<unsigned>(parseU64(v, argv[i]));
-        } else if (const char *v = flagValue(argv[i], "format")) {
+        } else if (const char *v = cliFlagValue(argv[i], "format")) {
             if (std::strcmp(v, "table") == 0)
                 opts.format = ReportFormat::Table;
             else if (std::strcmp(v, "csv") == 0)
@@ -436,16 +506,20 @@ parseHarnessOptions(int argc, char **argv)
                 opts.format = ReportFormat::Json;
             else
                 usage(argv[i]);
-        } else if (const char *v = flagValue(argv[i], "filter")) {
+        } else if (const char *v = cliFlagValue(argv[i], "filter")) {
             opts.filter = v;
-        } else if (const char *v = flagValue(argv[i], "scale")) {
+        } else if (const char *v = cliFlagValue(argv[i], "scale")) {
             opts.scale = parseU64(v, argv[i]);
             if (opts.scale == 0)
                 usage(argv[i]);
-        } else if (const char *v = flagValue(argv[i], "warmup")) {
+        } else if (const char *v = cliFlagValue(argv[i], "warmup")) {
             opts.warmupOverride = parseU64(v, argv[i]);
-        } else if (const char *v = flagValue(argv[i], "measure")) {
+        } else if (const char *v = cliFlagValue(argv[i], "measure")) {
             opts.measureOverride = parseU64(v, argv[i]);
+        } else if (const char *v = cliFlagValue(argv[i], "trace")) {
+            if (*v == '\0')
+                usage(argv[i]);
+            opts.trace = v;
         }
         // Anything else is a harness-specific flag or positional
         // argument; the harness parses those itself.
@@ -461,6 +535,16 @@ warnFilterUnused(const HarnessOptions &opts)
                      "note: this harness runs a generic grid; "
                      "--filter=%s has no effect\n",
                      opts.filter.c_str());
+}
+
+void
+warnTraceUnused(const HarnessOptions &opts)
+{
+    if (!opts.trace.empty())
+        std::fprintf(stderr,
+                     "note: this harness's grid is not trace-driven; "
+                     "--trace=%s has no effect\n",
+                     opts.trace.c_str());
 }
 
 } // namespace cdir

@@ -147,7 +147,10 @@ class SweepRunner
 
     /**
      * Run every (filter-surviving) cell of @p spec through
-     * `runExperiment` on the pool.
+     * `runExperiment` on the pool. A cell whose experiment throws
+     * (e.g. a trace cell replaying a damaged file or one with core
+     * ids beyond the grid's CMP) is reported on stderr and dropped
+     * from the results like a filtered-out cell.
      * @return records in cell order — options-major within workload
      * within config — independent of scheduling.
      */
@@ -183,6 +186,14 @@ class SweepRunner
 std::string sweepCellLabel(const std::string &config_label,
                            const std::string &workload_label,
                            const std::string &options_label);
+
+/**
+ * Append one workload axis point per trace file behind @p path (a file,
+ * or a directory swept in sorted order) — the harnesses' `--trace=`
+ * axis. Labels are the files' stems.
+ * @throws std::runtime_error if no trace files are found.
+ */
+void appendTraceWorkloads(SweepSpec &spec, const std::string &path);
 
 // --- reporting ---------------------------------------------------------------
 
@@ -280,6 +291,12 @@ struct HarnessOptions
     std::uint64_t scale = 1;    //!< --scale=N  run-length multiplier
     std::uint64_t warmupOverride = 0;  //!< --warmup=N  (0 = preset)
     std::uint64_t measureOverride = 0; //!< --measure=N (0 = preset)
+    /**
+     * --trace=<file|dir>: replace the synthetic workload axis with
+     * recorded traces (one axis point per file; a directory is swept in
+     * sorted order). Empty = synthetic presets.
+     */
+    std::string trace;
 
     /** SweepOptions with this jobs/filter pair. */
     SweepOptions
@@ -308,11 +325,26 @@ struct HarnessOptions
 HarnessOptions parseHarnessOptions(int argc, char **argv);
 
 /**
+ * Value of a "--name=value" CLI argument, or nullptr if @p arg is not
+ * that flag — the matcher behind parseHarnessOptions, exported for
+ * tools that parse additional flags in the same style.
+ */
+const char *cliFlagValue(const char *arg, const char *name);
+
+/**
  * Stderr note that --filter was given but does not apply. Harnesses
  * whose whole grid runs through the generic map() (no cell labels)
  * call this so a supplied filter is never silently ignored.
  */
 void warnFilterUnused(const HarnessOptions &opts);
+
+/**
+ * Stderr note that --trace was given but does not apply. Harnesses
+ * whose workload axis is not built from paperSweep's trace support
+ * (analytical models, fixed worst-case cells) call this so a supplied
+ * trace is never silently ignored.
+ */
+void warnTraceUnused(const HarnessOptions &opts);
 
 } // namespace cdir
 

@@ -1,22 +1,43 @@
 /**
  * @file
- * Memory-trace file I/O.
+ * Memory-trace record/replay pipeline.
  *
  * The paper drives its directories from FLEXUS full-system traces; this
- * reproduction uses synthetic generators by default but accepts
- * external traces in a simple text format, one access per line:
+ * reproduction uses synthetic generators by default but treats recorded
+ * traces as first-class workload inputs. Two on-disk formats are
+ * supported, selected automatically by sniffing the file:
  *
- *     <core> <block-address-hex> <r|w|i>
+ *  - **Text** (diffable, conversion target for external tools): one
+ *    access per line,
  *
- * ('i' marks instruction fetches, which route to the I-cache in the
- * Shared-L2 configuration.) Lines starting with '#' are comments.
- * Converters from gem5/champsim traces reduce to emitting this format.
+ *        <core> <block-address-hex> <r|w|i>
+ *
+ *    ('i' marks instruction fetches, which route to the I-cache in the
+ *    Shared-L2 configuration.) Lines starting with '#' are comments.
+ *    Converters from gem5/champsim traces reduce to emitting this
+ *    format — or the compact binary one below.
+ *
+ *  - **Binary** (compact, ~3-4 bytes per access): an 8-byte header —
+ *    magic "CDTR", one version byte, three reserved zero bytes —
+ *    followed by one record per access: a LEB128 varint packing
+ *    `(core << 2) | op` (op: 0 = read, 1 = write, 2 = ifetch), then the
+ *    zigzag-encoded varint delta of the block address from the previous
+ *    record. Delta coding makes the hot-region locality of real traces
+ *    compress into single-byte addresses.
+ *
+ * Everything composes through two small interfaces: `AccessSource`
+ * (anything that yields MemAccess records — synthetic generators, either
+ * reader) and `TraceSink` (either writer). `TraceRecorder` decorates any
+ * source and tees its stream into a sink, which is how `trace_tool
+ * record` and the `--trace` sweep axis capture workloads.
  */
 
 #ifndef CDIR_WORKLOAD_TRACE_HH
 #define CDIR_WORKLOAD_TRACE_HH
 
+#include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,12 +76,54 @@ class SyntheticSource : public AccessSource
     SyntheticWorkload workload;
 };
 
+/** Anything that consumes MemAccess records (trace writers). */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Append one record. */
+    virtual void write(const MemAccess &access) = 0;
+
+    /**
+     * Flush and close, throwing if any buffered write failed (disk
+     * full, closed pipe). Destruction without close() closes the file
+     * silently — always call close() when the recording matters.
+     */
+    virtual void close() = 0;
+
+    /** Records written so far. */
+    std::uint64_t recordsWritten() const { return count; }
+
+  protected:
+    std::uint64_t count = 0;
+};
+
+/** Reader knobs shared by both trace formats. */
+struct TraceReadOptions
+{
+    /**
+     * When non-zero, records whose core id is >= maxCores are parse
+     * errors (the CMP driver indexes caches by core, so an oversized id
+     * must never reach it).
+     */
+    std::size_t maxCores = 0;
+    /**
+     * Strict readers throw std::runtime_error ("path:line: message") on
+     * the first parse error; tolerant readers (the default) skip the
+     * record, count it in malformedRecords(), and remember the message
+     * in lastError().
+     */
+    bool strict = false;
+};
+
 /** Streaming reader for the text trace format (see file comment). */
-class TraceReader : public AccessSource
+class TextTraceReader : public AccessSource
 {
   public:
     /** Open @p path; throws std::runtime_error if unreadable. */
-    explicit TraceReader(const std::string &path);
+    explicit TextTraceReader(const std::string &path,
+                             TraceReadOptions options = {});
 
     MemAccess next() override;
     bool exhausted() const override { return !hasBuffered; }
@@ -68,48 +131,180 @@ class TraceReader : public AccessSource
     /** Records delivered so far. */
     std::uint64_t recordsRead() const { return count; }
 
-    /** Lines skipped because they were malformed. */
-    std::uint64_t malformedLines() const { return malformed; }
+    /** Records skipped because they were malformed. */
+    std::uint64_t malformedRecords() const { return malformed; }
+
+    /** "path:line: message" of the most recent parse error ("" if none). */
+    const std::string &lastError() const { return error; }
 
   private:
     void fill();
+    void recordError(std::uint64_t line_number, const std::string &what);
 
+    std::string file;
+    TraceReadOptions opts;
     std::ifstream in;
     MemAccess buffered{};
     bool hasBuffered = false;
+    std::uint64_t lineNumber = 0;
     std::uint64_t count = 0;
     std::uint64_t malformed = 0;
+    std::string error;
 };
 
 /** Writer for the text trace format. */
-class TraceWriter
+class TextTraceWriter : public TraceSink
 {
   public:
     /** Create/truncate @p path; throws std::runtime_error on failure. */
-    explicit TraceWriter(const std::string &path);
+    explicit TextTraceWriter(const std::string &path);
 
-    /** Append one record. */
-    void write(const MemAccess &access);
-
-    /** Flush and close (also done by the destructor). */
-    void close();
-
-    /** Records written so far. */
-    std::uint64_t recordsWritten() const { return count; }
+    void write(const MemAccess &access) override;
+    /** @throws std::runtime_error if any buffered write failed. */
+    void close() override;
 
   private:
+    std::string file;
     std::ofstream out;
+};
+
+/** Streaming reader for the binary trace format (see file comment). */
+class BinaryTraceReader : public AccessSource
+{
+  public:
+    /**
+     * Open @p path; throws std::runtime_error if unreadable or the
+     * header is missing, corrupt, or of an unsupported version.
+     */
+    explicit BinaryTraceReader(const std::string &path,
+                               TraceReadOptions options = {});
+
+    /**
+     * @throws std::runtime_error on a truncated or corrupt record —
+     * unlike stray text lines, damage inside a binary stream desyncs
+     * everything after it, so it is never skippable.
+     */
+    MemAccess next() override;
+    bool exhausted() const override { return !hasBuffered; }
+
+    /** Records delivered so far. */
+    std::uint64_t recordsRead() const { return count; }
+
+    /** Records skipped for an out-of-range core (tolerant mode only). */
+    std::uint64_t malformedRecords() const { return malformed; }
+
+    /** "path: byte N: message" of the most recent error ("" if none). */
+    const std::string &lastError() const { return error; }
+
+  private:
+    void fill();
+    /**
+     * Decode one LEB128 varint. @return false on clean EOF before the
+     * first byte; throws on EOF mid-varint or an over-long encoding.
+     */
+    bool readVarint(std::uint64_t &value);
+    [[noreturn]] void corrupt(const std::string &what);
+
+    std::string file;
+    TraceReadOptions opts;
+    std::ifstream in;
+    MemAccess buffered{};
+    bool hasBuffered = false;
+    BlockAddr prevAddr = 0;
+    std::uint64_t offset = 8; //!< bytes consumed (header included)
     std::uint64_t count = 0;
+    std::uint64_t malformed = 0;
+    std::string error;
+};
+
+/** Writer for the binary trace format. */
+class BinaryTraceWriter : public TraceSink
+{
+  public:
+    /** Create/truncate @p path; throws std::runtime_error on failure. */
+    explicit BinaryTraceWriter(const std::string &path);
+
+    void write(const MemAccess &access) override;
+    /** @throws std::runtime_error if any buffered write failed. */
+    void close() override;
+
+  private:
+    void writeVarint(std::uint64_t value);
+
+    std::string file;
+    std::ofstream out;
+    BlockAddr prevAddr = 0;
 };
 
 /**
- * Parse one trace line into @p access.
- * @return false if the line is a comment, blank, or malformed.
+ * AccessSource decorator that tees every delivered record into a sink —
+ * point it at any workload (synthetic, another trace) to record it.
  */
-bool parseTraceLine(const std::string &line, MemAccess &access);
+class TraceRecorder : public AccessSource
+{
+  public:
+    /** Neither @p inner nor @p sink is owned; both must outlive this. */
+    TraceRecorder(AccessSource &inner, TraceSink &sink)
+        : source(inner), out(sink)
+    {}
 
-/** Format one record as a trace line (no newline). */
+    MemAccess
+    next() override
+    {
+        const MemAccess access = source.next();
+        out.write(access);
+        return access;
+    }
+
+    bool exhausted() const override { return source.exhausted(); }
+
+  private:
+    AccessSource &source;
+    TraceSink &out;
+};
+
+/**
+ * Parse one text trace line into @p access.
+ * @param error if non-null, receives the reason on failure ("" for
+ *              skippable comment/blank lines).
+ * @return false if the line is a comment, blank, or malformed — a core
+ * id that overflows CoreId (or is >= @p max_cores when non-zero) is
+ * malformed, never silently wrapped.
+ */
+bool parseTraceLine(const std::string &line, MemAccess &access,
+                    std::string *error = nullptr,
+                    std::size_t max_cores = 0);
+
+/** Format one record as a text trace line (no newline). */
 std::string formatTraceLine(const MemAccess &access);
+
+/** True iff @p path starts with the binary trace magic. */
+bool traceFileIsBinary(const std::string &path);
+
+/** Open @p path with the format-appropriate reader (sniffs the magic). */
+std::unique_ptr<AccessSource> makeTraceReader(const std::string &path,
+                                              TraceReadOptions options = {});
+
+/** Create a sink at @p path in the requested format. */
+std::unique_ptr<TraceSink> makeTraceSink(const std::string &path,
+                                         bool binary = true);
+
+/**
+ * WorkloadParams naming @p path as a trace source: sweep grid cells
+ * built from it replay the file instead of running a generator (see
+ * runExperiment). The label/name is the file's stem.
+ */
+WorkloadParams traceWorkloadParams(const std::string &path);
+
+/**
+ * Trace files behind @p path: the file itself (taken as-is), or the
+ * directory's regular files in sorted order (a recorded-trace corpus
+ * as a sweep axis) — directory entries that are not recognizably
+ * traces (binary magic, or a first data line that parses) are skipped
+ * so stray files (READMEs, checksums) cannot poison a sweep.
+ * @throws std::runtime_error if nothing qualifies.
+ */
+std::vector<std::string> listTraceFiles(const std::string &path);
 
 } // namespace cdir
 

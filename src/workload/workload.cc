@@ -163,6 +163,18 @@ paperWorkloadName(PaperWorkload workload)
     return "?";
 }
 
+bool
+paperWorkloadByName(const std::string &name, PaperWorkload &workload)
+{
+    for (PaperWorkload w : allPaperWorkloads()) {
+        if (paperWorkloadName(w) == name) {
+            workload = w;
+            return true;
+        }
+    }
+    return false;
+}
+
 WorkloadParams
 paperWorkloadParams(PaperWorkload workload, bool private_l2,
                     std::size_t num_cores)

@@ -44,11 +44,24 @@ struct MemAccess
     bool instruction = false;
 };
 
-/** Tunable sharing profile of a synthetic workload. */
+/**
+ * Tunable sharing profile of a synthetic workload — or, when
+ * @ref tracePath is set, a recorded trace standing in for the
+ * generator (the sweep engine's trace axis).
+ */
 struct WorkloadParams
 {
     std::string name = "synthetic";
     std::size_t numCores = 16;
+
+    /**
+     * When non-empty, this workload is a recorded trace: experiment
+     * cells replay the file (text or binary, sniffed) instead of
+     * constructing a SyntheticWorkload, and every cell opens its own
+     * reader so sweeps stay bit-identical at any worker count. The
+     * synthetic knobs below are ignored. See traceWorkloadParams().
+     */
+    std::string tracePath;
 
     /** Shared instruction footprint in blocks (read-only). */
     std::size_t codeBlocks = 4096;
@@ -122,6 +135,12 @@ const std::vector<PaperWorkload> &allPaperWorkloads();
 
 /** Short label used on the figure x-axes ("DB2", "ocean", ...). */
 std::string paperWorkloadName(PaperWorkload workload);
+
+/**
+ * Reverse lookup of @ref paperWorkloadName (case-sensitive, e.g.
+ * "DB2", "ocean"). @return false if @p name is not a Table 2 label.
+ */
+bool paperWorkloadByName(const std::string &name, PaperWorkload &workload);
 
 /**
  * Sharing-profile preset for a paper workload.

@@ -2,11 +2,11 @@
  * @file
  * Batched access-protocol coverage:
  *
- *  - scalar access() (the value-returning shim) and accessBatch() must
- *    produce bit-identical DirectoryStats for every registered
- *    organization over identical operation streams;
- *  - context outcomes must agree with the legacy snapshots field by
- *    field;
+ *  - scalar access(request, ctx) (one request per context reset) and
+ *    accessBatch() must produce bit-identical DirectoryStats for every
+ *    registered organization over identical operation streams;
+ *  - DirAccessResult snapshots must agree with the live context
+ *    outcomes field by field;
  *  - CmpSystem with batchWindow > 1 must keep the directory-covers-
  *    caches inclusion invariant for every organization, and
  *    batchWindow == 1 must reproduce the per-reference access() path
@@ -22,13 +22,9 @@
 
 #include "common/alloc_counter.hh"
 #include "common/rng.hh"
+#include "dir_test_util.hh"
 #include "directory/registry.hh"
 #include "sim/cmp_system.hh"
-
-// This suite deliberately exercises the [[deprecated]] value-returning
-// access() shim: it pins the shim's behaviour against the context
-// protocol until the shim is removed.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace cdir {
 namespace {
@@ -100,16 +96,17 @@ TEST(BatchAccess, ScalarAndBatchProduceBitIdenticalStats)
         ASSERT_NE(batch_dir, nullptr) << name;
 
         const auto stream = makeStream(7, 4096, 512);
+        DirAccessContext scalar_ctx = scalar_dir->makeContext();
         DirAccessContext ctx = batch_dir->makeContext();
 
         constexpr std::size_t kChunk = 16;
         for (std::size_t base = 0; base < stream.size(); base += kChunk) {
             const std::size_t n =
                 std::min(kChunk, stream.size() - base);
-            // Scalar side: one value-returning call per request.
+            // Scalar side: one request per context reset.
             for (std::size_t i = 0; i < n; ++i) {
-                const DirRequest &r = stream[base + i];
-                scalar_dir->access(r.tag, r.cache, r.isWrite);
+                scalar_ctx.reset();
+                scalar_dir->access(stream[base + i], scalar_ctx);
             }
             // Batch side: the whole chunk through one context.
             ctx.reset();
@@ -129,45 +126,48 @@ TEST(BatchAccess, ScalarAndBatchProduceBitIdenticalStats)
     }
 }
 
-TEST(BatchAccess, OutcomesMatchLegacySnapshots)
+TEST(BatchAccess, SnapshotsMatchContextOutcomes)
 {
+    // DirAccessResult snapshots (the value-semantics convenience used
+    // by tests/examples) must reproduce the live context outcome field
+    // by field, including the pooled invalidation/eviction storage.
     for (const std::string &name : DirectoryRegistry::instance().names()) {
         const DirectoryParams p = paramsFor(name);
-        auto legacy_dir = DirectoryRegistry::instance().build(name, p);
+        auto snap_dir = DirectoryRegistry::instance().build(name, p);
         auto ctx_dir = DirectoryRegistry::instance().build(name, p);
 
         const auto stream = makeStream(23, 2048, 256);
         DirAccessContext ctx = ctx_dir->makeContext();
         for (const DirRequest &r : stream) {
-            const DirAccessResult legacy =
-                legacy_dir->access(r.tag, r.cache, r.isWrite);
+            const DirAccessResult snap =
+                test::accessDir(*snap_dir, r.tag, r.cache, r.isWrite);
             ctx.reset();
             ctx_dir->access(r, ctx);
             ASSERT_EQ(ctx.size(), 1u) << name;
             const DirAccessOutcome &out = ctx.back();
-            ASSERT_EQ(out.hit, legacy.hit) << name;
-            ASSERT_EQ(out.inserted, legacy.inserted) << name;
-            ASSERT_EQ(out.insertDiscarded, legacy.insertDiscarded) << name;
-            ASSERT_EQ(out.attempts, legacy.attempts) << name;
+            ASSERT_EQ(out.hit, snap.hit) << name;
+            ASSERT_EQ(out.inserted, snap.inserted) << name;
+            ASSERT_EQ(out.insertDiscarded, snap.insertDiscarded) << name;
+            ASSERT_EQ(out.attempts, snap.attempts) << name;
             ASSERT_EQ(out.hadSharerInvalidations,
-                      legacy.hadSharerInvalidations)
+                      snap.hadSharerInvalidations)
                 << name;
             if (out.hadSharerInvalidations) {
                 ASSERT_TRUE(ctx.sharerInvalidations(out) ==
-                            legacy.sharerInvalidations)
+                            snap.sharerInvalidations)
                     << name;
             }
-            ASSERT_EQ(out.evictionCount, legacy.forcedEvictions.size())
+            ASSERT_EQ(out.evictionCount, snap.forcedEvictions.size())
                 << name;
             for (std::size_t e = 0; e < out.evictionCount; ++e) {
                 const EvictedEntry &got = ctx.forcedEviction(out, e);
-                ASSERT_EQ(got.tag, legacy.forcedEvictions[e].tag) << name;
+                ASSERT_EQ(got.tag, snap.forcedEvictions[e].tag) << name;
                 ASSERT_TRUE(got.targets ==
-                            legacy.forcedEvictions[e].targets)
+                            snap.forcedEvictions[e].targets)
                     << name;
             }
         }
-        expectStatsEqual(legacy_dir->stats(), ctx_dir->stats(), name);
+        expectStatsEqual(snap_dir->stats(), ctx_dir->stats(), name);
     }
 }
 

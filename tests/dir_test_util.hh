@@ -4,10 +4,9 @@
  * batched context protocol and return an owning snapshot.
  *
  * The tests used to call the value-returning
- * `Directory::access(tag, cache, is_write)` shim; that shim is now
- * `[[deprecated]]` and scheduled for removal, so tests exercise the
- * context protocol directly through this helper instead (value
- * semantics are fine off the hot path).
+ * `Directory::access(tag, cache, is_write)` shim; that shim has been
+ * removed, so tests exercise the context protocol directly through
+ * this helper instead (value semantics are fine off the hot path).
  */
 
 #ifndef CDIR_TESTS_DIR_TEST_UTIL_HH
