@@ -132,6 +132,7 @@ main(int argc, char **argv)
     const std::uint64_t ops = flagU64(argc, argv, "ops", 400000);
     warnFilterUnused(cli);
     warnTraceUnused(cli);
+    warnShardsUnused(cli);
     const SweepRunner runner(cli.sweep());
 
     // One cell per (variant, occupancy); both tables read the same run.

@@ -93,6 +93,7 @@ main(int argc, char **argv)
     const std::uint64_t ops = flagU64(argc, argv, "ops", 300000);
     warnFilterUnused(cli);
     warnTraceUnused(cli);
+    warnShardsUnused(cli);
     const SweepRunner runner(cli.sweep());
 
     // One cell per (hash kind, occupancy).

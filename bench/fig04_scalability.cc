@@ -68,6 +68,7 @@ main(int argc, char **argv)
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     warnFilterUnused(cli);
     warnTraceUnused(cli);
+    warnShardsUnused(cli);
     const SweepRunner runner(cli.sweep());
 
     // One grid cell per (organization, core count).

@@ -85,6 +85,7 @@ main(int argc, char **argv)
         bench::flagU64(argc, argv, "values", 400000);
     warnFilterUnused(cli);
     warnTraceUnused(cli);
+    warnShardsUnused(cli);
     const SweepRunner runner(cli.sweep());
 
     const auto series = runner.map<AritySeries>(

@@ -31,14 +31,16 @@ main(int argc, char **argv)
     const CmpConfigKind kinds[] = {CmpConfigKind::SharedL2,
                                    CmpConfigKind::PrivateL2};
     std::vector<SweepSpec> specs;
-    std::vector<std::vector<SweepRecord>> byKind;
     for (CmpConfigKind kind : kinds) {
         SweepSpec spec = paperSweep(kind, cli);
         spec.config(configName(kind),
                     paperConfigWith(kind, selectedCuckoo(kind)));
-        byKind.push_back(runner.run(spec));
         specs.push_back(std::move(spec));
     }
+    // One flattened cell pool across both configurations' grids, so
+    // --jobs parallelism spans the Shared-L2 and Private-L2 sweeps.
+    const std::vector<std::vector<SweepRecord>> byKind =
+        runner.runMany(specs);
 
     // The paper's occupancy axis is relative to the worst-case number
     // of simultaneously tracked blocks (the aggregate cache frames) —

@@ -25,15 +25,17 @@ main(int argc, char **argv)
     const CmpConfigKind kinds[] = {CmpConfigKind::SharedL2,
                                    CmpConfigKind::PrivateL2};
     std::vector<SweepSpec> specs;
-    std::vector<RecordGrid> grids;
-    std::vector<std::vector<SweepRecord>> byKind;
     for (CmpConfigKind kind : kinds) {
         SweepSpec spec = paperSweep(kind, cli);
         spec.config(configName(kind),
                     paperConfigWith(kind, selectedCuckoo(kind)));
-        byKind.push_back(runner.run(spec));
         specs.push_back(std::move(spec));
     }
+    // One flattened cell pool across both configurations' grids, so
+    // --jobs parallelism spans the Shared-L2 and Private-L2 sweeps.
+    const std::vector<std::vector<SweepRecord>> byKind =
+        runner.runMany(specs);
+    std::vector<RecordGrid> grids;
     const std::size_t workloads = specs[0].workloads().size();
     for (const auto &records : byKind)
         grids.emplace_back(records, 1, workloads);

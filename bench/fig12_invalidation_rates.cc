@@ -35,16 +35,21 @@ struct Org
     DirectoryParams params;
 };
 
-void
-compare(Reporter &report, const SweepRunner &runner,
-        const HarnessOptions &cli, CmpConfigKind kind,
-        const std::vector<Org> &orgs)
+SweepSpec
+compareSpec(const HarnessOptions &cli, CmpConfigKind kind,
+            const std::vector<Org> &orgs)
 {
     SweepSpec spec = paperSweep(kind, cli);
     for (const Org &o : orgs)
         spec.config(o.label, paperConfigWith(kind, o.params));
-    const std::vector<SweepRecord> records = runner.run(spec);
+    return spec;
+}
 
+void
+emitComparison(Reporter &report, const SweepSpec &spec,
+               const std::vector<SweepRecord> &records,
+               CmpConfigKind kind, const std::vector<Org> &orgs)
+{
     const std::size_t workloads = spec.workloads().size();
     const RecordGrid grid(records, orgs.size(), workloads);
 
@@ -76,19 +81,33 @@ main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     const SweepRunner runner(cli.sweep());
-    Reporter report(cli.format);
 
     // Per-slice frame baseline: 2048 (Shared-L2), 16384 (Private-L2).
-    compare(report, runner, cli, CmpConfigKind::SharedL2,
-            {{"Sparse 2x", sparseSliceParams(8, 512)},
-             {"Sparse 8x", sparseSliceParams(8, 2048)},
-             {"Skewed 2x", skewedSliceParams(4, 1024)},
-             {"Cuckoo 1x", cuckooSliceParams(4, 512)}});
+    const CmpConfigKind kinds[] = {CmpConfigKind::SharedL2,
+                                   CmpConfigKind::PrivateL2};
+    const std::vector<Org> orgsByKind[] = {
+        {{"Sparse 2x", sparseSliceParams(8, 512)},
+         {"Sparse 8x", sparseSliceParams(8, 2048)},
+         {"Skewed 2x", skewedSliceParams(4, 1024)},
+         {"Cuckoo 1x", cuckooSliceParams(4, 512)}},
+        {{"Sparse 2x", sparseSliceParams(8, 4096)},
+         {"Sparse 8x", sparseSliceParams(8, 16384)},
+         {"Skewed 2x", skewedSliceParams(4, 8192)},
+         {"Cuckoo 1.5x", cuckooSliceParams(3, 8192)}},
+    };
 
-    compare(report, runner, cli, CmpConfigKind::PrivateL2,
-            {{"Sparse 2x", sparseSliceParams(8, 4096)},
-             {"Sparse 8x", sparseSliceParams(8, 16384)},
-             {"Skewed 2x", skewedSliceParams(4, 8192)},
-             {"Cuckoo 1.5x", cuckooSliceParams(3, 8192)}});
+    // Both configurations' grids (the suite's largest: 72 cells) run as
+    // one flattened cell pool, so --jobs parallelism never drains while
+    // the second grid waits.
+    std::vector<SweepSpec> specs;
+    for (std::size_t k = 0; k < 2; ++k)
+        specs.push_back(compareSpec(cli, kinds[k], orgsByKind[k]));
+    const std::vector<std::vector<SweepRecord>> byKind =
+        runner.runMany(specs);
+
+    Reporter report(cli.format);
+    for (std::size_t k = 0; k < 2; ++k)
+        emitComparison(report, specs[k], byKind[k], kinds[k],
+                       orgsByKind[k]);
     return 0;
 }

@@ -100,6 +100,7 @@ main(int argc, char **argv)
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     warnFilterUnused(cli);
     warnTraceUnused(cli);
+    warnShardsUnused(cli);
     const SweepRunner runner(cli.sweep());
 
     // Grid: system-major, then organization, then core count.

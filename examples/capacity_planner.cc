@@ -94,6 +94,7 @@ main(int argc, char **argv)
 
     warnFilterUnused(cli);
     warnTraceUnused(cli);
+    warnShardsUnused(cli);
     const SweepRunner runner(cli.sweep());
     const auto costs = runner.map<DirCost>(
         std::size(candidates), [&](std::size_t i) {

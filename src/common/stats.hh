@@ -45,6 +45,20 @@ class RunningMean
         total += value * double(count);
     }
 
+    /**
+     * Fold @p other's samples into this mean, exactly (sums counts and
+     * totals, so merging per-shard or per-slice accumulators in any
+     * fixed order reproduces the single-accumulator result whenever the
+     * sample sum is exactly representable — true for the integer-valued
+     * series the simulator records).
+     */
+    void
+    merge(const RunningMean &other)
+    {
+        n += other.n;
+        total += other.total;
+    }
+
     /** Discard all samples. */
     void
     reset()

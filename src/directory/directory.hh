@@ -75,6 +75,30 @@ struct DirectoryStats
                    : double(forcedEvictions) / double(insertions);
     }
 
+    /**
+     * Fold @p other into this accumulator — the deterministic merge the
+     * CMP driver uses to aggregate per-slice (and per-shard) statistics:
+     * integer counters sum, the attempt mean merges exactly, and the
+     * histogram buckets accumulate. Merging in any fixed order yields
+     * the same aggregate.
+     */
+    void
+    merge(const DirectoryStats &other)
+    {
+        lookups += other.lookups;
+        hits += other.hits;
+        insertions += other.insertions;
+        sharerAdds += other.sharerAdds;
+        writeUpgrades += other.writeUpgrades;
+        sharerRemovals += other.sharerRemovals;
+        entryFrees += other.entryFrees;
+        forcedEvictions += other.forcedEvictions;
+        forcedBlockInvalidations += other.forcedBlockInvalidations;
+        insertFailures += other.insertFailures;
+        insertionAttempts.merge(other.insertionAttempts);
+        attemptHistogram.merge(other.attemptHistogram);
+    }
+
     void
     reset()
     {

@@ -128,34 +128,79 @@ CmpSystem::markDirty(std::size_t slice)
     if (!queues[slice].dirty) {
         queues[slice].dirty = true;
         dirtySlices.push_back(static_cast<std::uint32_t>(slice));
+        if (shardCount > 1)
+            shardDirty[shardOf(slice)].push_back(
+                static_cast<std::uint32_t>(slice));
+    }
+}
+
+void
+CmpSystem::setShards(unsigned shards)
+{
+    if (shards == 0)
+        shards = 1;
+    if (shards > cfg.numSlices)
+        shards = static_cast<unsigned>(cfg.numSlices);
+    if (shards == shardCount)
+        return;
+    assert(dirtySlices.empty() &&
+           "setShards must not interrupt an open batch window");
+    shardGroup.reset();
+    shardPool.reset();
+    shardCount = shards;
+    shardDirty.assign(shardCount, {});
+    shardOccupancy.assign(shardCount, {0, 0});
+    if (shardCount > 1) {
+        for (auto &list : shardDirty)
+            list.reserve(cfg.numSlices);
+        // The calling thread drives shard 0, so N shards need N-1
+        // workers; the pool persists across windows (TaskGroup barriers
+        // join each round without re-spawning threads).
+        shardPool = std::make_unique<ThreadPool>(shardCount - 1);
+        shardGroup = std::make_unique<TaskGroup>(*shardPool);
     }
 }
 
 void
 CmpSystem::flush()
 {
+    if (dirtySlices.empty())
+        return;
+
+    // Phase 1 — replay: slice-local directory work. Shards own disjoint
+    // slices (slice mod shardCount), queues are fixed for the whole
+    // flush, and nothing here touches the private caches, so running
+    // the shards concurrently cannot change any observable state.
+    if (shardCount > 1 && dirtySlices.size() > 1) {
+        for (std::size_t k = 1; k < shardCount; ++k) {
+            if (shardDirty[k].empty())
+                continue;
+            shardGroup->run([this, k] {
+                for (const std::uint32_t s : shardDirty[k])
+                    replaySlice(s);
+            });
+        }
+        for (const std::uint32_t s : shardDirty[0])
+            replaySlice(s);
+        shardGroup->wait(); // barrier between replay and apply
+    } else {
+        for (const std::uint32_t s : dirtySlices)
+            replaySlice(s);
+    }
+    for (auto &list : shardDirty)
+        list.clear();
+
+    // Phase 2 — apply: cache invalidations and system counters, on the
+    // calling thread in first-touch slice order with per-slice outcomes
+    // in staging order — the exact call sequence of the serial driver.
     for (const std::uint32_t s : dirtySlices) {
         SliceQueue &queue = queues[s];
         queue.dirty = false;
-        // Replay the slice's operations in exact staging order: each
-        // removal splits the requests into contiguous runs, and every
-        // run between two removals goes through accessBatch at once.
-        std::size_t next_request = 0;
-        for (const StagedRemoval &removal : queue.removals) {
-            if (removal.beforeRequest > next_request) {
-                runRequestSpan(
-                    s, std::span<const DirRequest>(
-                           queue.requests.data() + next_request,
-                           removal.beforeRequest - next_request));
-                next_request = removal.beforeRequest;
-            }
-            slices[s]->removeSharer(removal.tag, removal.cache);
-        }
-        if (next_request < queue.requests.size()) {
-            runRequestSpan(s, std::span<const DirRequest>(
-                                  queue.requests.data() + next_request,
-                                  queue.requests.size() - next_request));
-        }
+        applyDirectoryOutcomes(
+            s,
+            std::span<const DirRequest>(queue.requests.data(),
+                                        queue.requests.size()),
+            contexts[s]);
         queue.removals.clear();
         queue.requests.clear();
     }
@@ -163,15 +208,34 @@ CmpSystem::flush()
 }
 
 void
-CmpSystem::runRequestSpan(std::size_t slice,
-                          std::span<const DirRequest> requests)
+CmpSystem::replaySlice(std::size_t s)
 {
-    if (requests.empty())
-        return;
-    DirAccessContext &ctx = contexts[slice];
+    SliceQueue &queue = queues[s];
+    Directory &dir = *slices[s];
+    DirAccessContext &ctx = contexts[s];
     ctx.reset();
-    slices[slice]->accessBatch(requests, ctx);
-    applyDirectoryOutcomes(slice, requests, ctx);
+    // Replay the slice's operations in exact staging order: each
+    // removal splits the requests into contiguous runs, and every run
+    // between two removals goes through accessBatch at once. Outcomes
+    // accumulate in the context — one per request, in request order —
+    // for the apply phase.
+    std::size_t next_request = 0;
+    for (const StagedRemoval &removal : queue.removals) {
+        if (removal.beforeRequest > next_request) {
+            dir.accessBatch(std::span<const DirRequest>(
+                                queue.requests.data() + next_request,
+                                removal.beforeRequest - next_request),
+                            ctx);
+            next_request = removal.beforeRequest;
+        }
+        dir.removeSharer(removal.tag, removal.cache);
+    }
+    if (next_request < queue.requests.size()) {
+        dir.accessBatch(std::span<const DirRequest>(
+                            queue.requests.data() + next_request,
+                            queue.requests.size() - next_request),
+                        ctx);
+    }
 }
 
 void
@@ -286,7 +350,39 @@ CmpSystem::run(AccessSource &source, std::uint64_t count,
 void
 CmpSystem::sampleOccupancy()
 {
+    // Occupancy is a pure read of per-slice entry counts — and for the
+    // mirroring organizations validEntries() walks the slice's frames,
+    // so at large core counts one sample is real work. Shard the
+    // reduction: partial integer sums per shard, merged in shard index
+    // order (commutative, so the serial value is reproduced exactly).
+    if (shardCount > 1) {
+        for (std::size_t k = 1; k < shardCount; ++k) {
+            shardGroup->run(
+                [this, k] { shardOccupancy[k] = occupancySpan(k); });
+        }
+        shardOccupancy[0] = occupancySpan(0);
+        shardGroup->wait();
+        std::size_t valid = 0, total = 0;
+        for (const auto &[shard_valid, shard_total] : shardOccupancy) {
+            valid += shard_valid;
+            total += shard_total;
+        }
+        counters.directoryOccupancy.add(
+            total == 0 ? 0.0 : double(valid) / double(total));
+        return;
+    }
     counters.directoryOccupancy.add(currentOccupancy());
+}
+
+std::pair<std::size_t, std::size_t>
+CmpSystem::occupancySpan(std::size_t shard) const
+{
+    std::size_t valid = 0, total = 0;
+    for (std::size_t s = shard; s < slices.size(); s += shardCount) {
+        valid += slices[s]->validEntries();
+        total += slices[s]->capacity();
+    }
+    return {valid, total};
 }
 
 double
@@ -304,22 +400,8 @@ DirectoryStats
 CmpSystem::aggregateDirectoryStats() const
 {
     DirectoryStats agg;
-    for (const auto &s : slices) {
-        const DirectoryStats &d = s->stats();
-        agg.lookups += d.lookups;
-        agg.hits += d.hits;
-        agg.insertions += d.insertions;
-        agg.sharerAdds += d.sharerAdds;
-        agg.writeUpgrades += d.writeUpgrades;
-        agg.sharerRemovals += d.sharerRemovals;
-        agg.entryFrees += d.entryFrees;
-        agg.forcedEvictions += d.forcedEvictions;
-        agg.forcedBlockInvalidations += d.forcedBlockInvalidations;
-        agg.insertFailures += d.insertFailures;
-        agg.attemptHistogram.merge(d.attemptHistogram);
-        agg.insertionAttempts.addWeighted(d.insertionAttempts.mean(),
-                                          d.insertionAttempts.count());
-    }
+    for (const auto &s : slices)
+        agg.merge(s->stats());
     return agg;
 }
 

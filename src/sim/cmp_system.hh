@@ -37,16 +37,46 @@
  * trades away is only the cross-reference feedback through the private
  * caches (invalidations land at run boundaries instead of between
  * references).
+ *
+ * Sharded execution (setShards): the physical directory is distributed —
+ * every block address maps to exactly one slice, so slices never share
+ * state — and the driver exploits that inside a single experiment.
+ * Each flush of a batch window runs in two phases:
+ *
+ *  1. *Replay* (parallel): dirty slices are partitioned across shards
+ *     (slice mod shardCount); each shard drives its slices' staged
+ *     removals and request runs through the slice-local directory and
+ *     context in exact staging order. Shards touch disjoint
+ *     slice/queue/context state, so the phase is race-free by
+ *     construction, and a TaskGroup barrier joins it.
+ *  2. *Apply* (serial, canonical first-touch order): the recorded
+ *     outcomes are applied to the private caches and system counters by
+ *     the calling thread — the identical call sequence the serial
+ *     driver performs, because cache invalidations never feed back into
+ *     directory work within a flush (queues are fixed at flush time and
+ *     directories are only read/written in phase 1).
+ *
+ * Per-slice statistics, cache state, and therefore every merged
+ * experiment metric are bit-identical at any shard count; only
+ * wall-clock changes. Parallelism within a window is bounded by the
+ * window's dirty-slice count, so sharding pays off with batchWindow >>
+ * 1 (cells use CmpConfig::batchWindow; the determinism contract is
+ * per-window, not across window sizes). Shard dispatch allocates O(ns)
+ * task handles per window; the zero-allocation guarantee continues to
+ * hold for the serial (shards <= 1) driver and for all per-slice
+ * simulation state.
  */
 
 #ifndef CDIR_SIM_CMP_SYSTEM_HH
 #define CDIR_SIM_CMP_SYSTEM_HH
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "directory/directory.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
@@ -113,6 +143,24 @@ struct CmpStats
     std::uint64_t sharingInvalidations = 0; //!< blocks killed by writes
     std::uint64_t forcedInvalidations = 0;  //!< blocks killed by conflicts
     RunningMean directoryOccupancy;         //!< sampled (Fig. 8)
+
+    /**
+     * Fold @p other into this accumulator (deterministic in any fixed
+     * merge order); the counterpart of DirectoryStats::merge for
+     * combining per-shard or per-system counter blocks.
+     */
+    void
+    merge(const CmpStats &other)
+    {
+        accesses += other.accesses;
+        cacheHits += other.cacheHits;
+        cacheMisses += other.cacheMisses;
+        writeUpgrades += other.writeUpgrades;
+        cacheEvictions += other.cacheEvictions;
+        sharingInvalidations += other.sharingInvalidations;
+        forcedInvalidations += other.forcedInvalidations;
+        directoryOccupancy.merge(other.directoryOccupancy);
+    }
 };
 
 /** The simulated CMP (see file comment). */
@@ -141,6 +189,20 @@ class CmpSystem
      */
     std::uint64_t run(AccessSource &source, std::uint64_t count,
                       std::uint64_t sample_every = 0);
+
+    /**
+     * Partition the slices across @p shards parallel execution lanes
+     * (see file comment). 1 (the default) keeps the serial driver and
+     * owns no threads; N > 1 spawns N-1 persistent workers — the
+     * calling thread drives shard 0 — and is clamped to numSlices().
+     * Results are bit-identical at every value; only wall-clock
+     * changes. Must not be called while a batch window is open (i.e.
+     * only between run()/access() calls).
+     */
+    void setShards(unsigned shards);
+
+    /** Parallel execution lanes in force (1 = serial). */
+    unsigned shards() const { return shardCount; }
 
     /** Sample aggregate directory occupancy once. */
     void sampleOccupancy();
@@ -220,14 +282,28 @@ class CmpSystem
     /** Phases 2+3: drain every slice queue and apply the outcomes. */
     void flush();
 
-    /** Drive one contiguous request run through the slice's directory. */
-    void runRequestSpan(std::size_t slice,
-                        std::span<const DirRequest> requests);
+    /**
+     * Replay one dirty slice's staged removals and request runs through
+     * its directory, accumulating every outcome into the slice context
+     * (application deferred to applySliceOutcomes). Slice-local: safe to
+     * run concurrently for distinct slices.
+     */
+    void replaySlice(std::size_t slice);
 
-    /** Apply one request run's batch outcomes to the private caches. */
+    /** Apply a replayed slice's batch outcomes to the private caches. */
     void applyDirectoryOutcomes(std::size_t slice,
                                 std::span<const DirRequest> requests,
                                 const DirAccessContext &ctx);
+
+    /** Shard owning @p slice under the current shard count. */
+    std::size_t shardOf(std::size_t slice) const
+    {
+        return slice % shardCount;
+    }
+
+    /** (validEntries, capacity) summed over shard @p shard's slices. */
+    std::pair<std::size_t, std::size_t>
+    occupancySpan(std::size_t shard) const;
 
     CmpConfig cfg;
     std::size_t sliceMask;
@@ -239,6 +315,17 @@ class CmpSystem
     std::vector<std::uint32_t> dirtySlices;
     std::vector<DirAccessContext> contexts; //!< one per slice, reused
     CmpStats counters;
+
+    // --- shard scheduler (see file comment; serial when shardCount <= 1) ---
+    unsigned shardCount = 1;
+    /** Per-shard dirty-slice lists (subsequences of dirtySlices). */
+    std::vector<std::vector<std::uint32_t>> shardDirty;
+    /** Per-shard occupancy partial sums, merged in shard order. */
+    std::vector<std::pair<std::size_t, std::size_t>> shardOccupancy;
+    /** Pool of shardCount-1 workers; group declared first so the pool
+     *  (destroyed first, joining its threads) can never outlive it. */
+    std::unique_ptr<TaskGroup> shardGroup;
+    std::unique_ptr<ThreadPool> shardPool;
 };
 
 } // namespace cdir

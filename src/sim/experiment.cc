@@ -7,6 +7,7 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
               const ExperimentOptions &options)
 {
     CmpSystem system(config);
+    system.setShards(options.shards);
 
     if (!workload.tracePath.empty()) {
         // Trace cell: replay the file through the same warmup-then-

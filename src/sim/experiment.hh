@@ -42,6 +42,14 @@ struct ExperimentOptions
     std::uint64_t warmupAccesses = 2'000'000;
     std::uint64_t measureAccesses = 2'000'000;
     std::uint64_t occupancySampleEvery = 10'000;
+    /**
+     * Intra-experiment parallelism: directory slices are partitioned
+     * across this many execution lanes inside the cell's CmpSystem
+     * (CmpSystem::setShards). 1 = serial; any value is bit-identical.
+     * Composes with the sweep layer's cell parallelism — see
+     * clampedShards() in sim/sweep.hh for the jobs x shards budget.
+     */
+    unsigned shards = 1;
 };
 
 /**

@@ -104,31 +104,49 @@ SweepRunner::matchesFilter(const std::string &cell_label) const
 std::vector<SweepRecord>
 SweepRunner::run(const SweepSpec &spec) const
 {
+    return runMany(std::span<const SweepSpec>(&spec, 1)).front();
+}
+
+std::vector<std::vector<SweepRecord>>
+SweepRunner::runMany(std::span<const SweepSpec> specs) const
+{
     static const OptionsAxisPoint default_options{
         "", ExperimentOptions{}};
+    const auto optionsPoint = [](const SweepSpec &spec, std::size_t o)
+        -> const OptionsAxisPoint & {
+        return spec.optionsAxis().empty() ? default_options
+                                          : spec.optionsAxis()[o];
+    };
 
-    // Enumerate the filter-surviving cells up front so results can be
-    // written into their final (cell-order) slots from any worker.
-    std::vector<SweepRecord> records;
-    records.reserve(spec.cellCount());
-    for (std::size_t c = 0; c < spec.configs().size(); ++c) {
-        for (std::size_t w = 0; w < spec.workloads().size(); ++w) {
-            for (std::size_t o = 0; o < spec.optionsPoints(); ++o) {
-                const OptionsAxisPoint &opt =
-                    spec.optionsAxis().empty() ? default_options
-                                               : spec.optionsAxis()[o];
-                SweepRecord rec;
-                rec.configIndex = c;
-                rec.workloadIndex = w;
-                rec.optionsIndex = o;
-                rec.configLabel = spec.configs()[c].label;
-                rec.workloadLabel = spec.workloads()[w].label;
-                rec.optionsLabel = opt.label;
-                if (!matchesFilter(sweepCellLabel(rec.configLabel,
-                                                  rec.workloadLabel,
-                                                  rec.optionsLabel)))
-                    continue;
-                records.push_back(std::move(rec));
+    // Enumerate every spec's filter-surviving cells into one flattened
+    // pool up front, so results can be written into their final
+    // (spec-major, cell-order) slots from any worker and the grids of a
+    // multi-configuration harness share the sweep's whole thread pool.
+    struct PendingCell
+    {
+        std::size_t spec;
+        SweepRecord rec;
+    };
+    std::vector<PendingCell> cells;
+    for (std::size_t g = 0; g < specs.size(); ++g) {
+        const SweepSpec &spec = specs[g];
+        cells.reserve(cells.size() + spec.cellCount());
+        for (std::size_t c = 0; c < spec.configs().size(); ++c) {
+            for (std::size_t w = 0; w < spec.workloads().size(); ++w) {
+                for (std::size_t o = 0; o < spec.optionsPoints(); ++o) {
+                    SweepRecord rec;
+                    rec.configIndex = c;
+                    rec.workloadIndex = w;
+                    rec.optionsIndex = o;
+                    rec.configLabel = spec.configs()[c].label;
+                    rec.workloadLabel = spec.workloads()[w].label;
+                    rec.optionsLabel = optionsPoint(spec, o).label;
+                    if (!matchesFilter(sweepCellLabel(rec.configLabel,
+                                                      rec.workloadLabel,
+                                                      rec.optionsLabel)))
+                        continue;
+                    cells.push_back(PendingCell{g, std::move(rec)});
+                }
             }
         }
     }
@@ -139,28 +157,25 @@ SweepRunner::run(const SweepSpec &spec) const
     // cells as '-' — instead of aborting the whole harness through an
     // uncaught exception in main. Messages are emitted serially after
     // the sweep so output stays deterministic.
-    std::vector<std::string> failures(records.size());
-    parallelFor(opts.jobs, records.size(), [&](std::size_t i) {
-        SweepRecord &rec = records[i];
-        const OptionsAxisPoint &opt =
-            spec.optionsAxis().empty()
-                ? default_options
-                : spec.optionsAxis()[rec.optionsIndex];
+    std::vector<std::string> failures(cells.size());
+    parallelFor(opts.jobs, cells.size(), [&](std::size_t i) {
+        SweepRecord &rec = cells[i].rec;
+        const SweepSpec &spec = specs[cells[i].spec];
         try {
             rec.result = runExperiment(
                 spec.configs()[rec.configIndex].config,
                 spec.workloads()[rec.workloadIndex].workload,
-                opt.options);
+                optionsPoint(spec, rec.optionsIndex).options);
         } catch (const std::exception &e) {
             failures[i] = e.what();
         }
     });
-    std::vector<SweepRecord> surviving;
-    surviving.reserve(records.size());
-    for (std::size_t i = 0; i < records.size(); ++i) {
+
+    std::vector<std::vector<SweepRecord>> surviving(specs.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SweepRecord &rec = cells[i].rec;
         const std::string label = sweepCellLabel(
-            records[i].configLabel, records[i].workloadLabel,
-            records[i].optionsLabel);
+            rec.configLabel, rec.workloadLabel, rec.optionsLabel);
         if (!failures[i].empty()) {
             std::fprintf(stderr, "sweep cell '%s' failed: %s\n",
                          label.c_str(), failures[i].c_str());
@@ -169,15 +184,16 @@ SweepRunner::run(const SweepSpec &spec) const
         // An all-zero cell from a trace exhausted during warmup looks
         // exactly like a perfect result; never let it pass silently.
         const bool trace_cell =
-            !spec.workloads()[records[i].workloadIndex]
+            !specs[cells[i].spec]
+                 .workloads()[rec.workloadIndex]
                  .workload.tracePath.empty();
-        if (trace_cell && records[i].result.system.accesses == 0)
+        if (trace_cell && rec.result.system.accesses == 0)
             std::fprintf(stderr,
                          "sweep cell '%s': trace exhausted during "
                          "warmup — 0 accesses measured (shrink "
                          "--warmup= or record a longer trace)\n",
                          label.c_str());
-        surviving.push_back(std::move(records[i]));
+        surviving[cells[i].spec].push_back(std::move(rec));
     }
     return surviving;
 }
@@ -459,6 +475,12 @@ usage(const char *bad)
         "shared harness flags:\n"
         "  --jobs=N              worker threads (0 = all hardware "
         "threads; default 0)\n"
+        "  --shards=N            execution lanes inside each experiment "
+        "cell\n"
+        "                        (slice sharding; 0 = fill the jobs x "
+        "shards thread\n"
+        "                        budget; default 1; results are "
+        "bit-identical at any N)\n"
         "  --format=table|csv|json  output format (default table)\n"
         "  --filter=S[,S...]     run only cells whose "
         "config/workload/options label\n"
@@ -490,6 +512,20 @@ parseU64(const char *value, const char *arg)
 
 } // namespace
 
+unsigned
+clampedShards(unsigned jobs, unsigned shards, unsigned hardware)
+{
+    if (hardware == 0)
+        hardware = 1;
+    if (jobs == 0)
+        jobs = hardware; // --jobs=0 claims every hardware thread
+    const unsigned budget =
+        jobs >= hardware ? 1u : std::max(1u, hardware / jobs);
+    if (shards == 0)
+        return budget; // auto: fill the remaining budget
+    return std::min(shards, budget);
+}
+
 HarnessOptions
 parseHarnessOptions(int argc, char **argv)
 {
@@ -497,6 +533,8 @@ parseHarnessOptions(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (const char *v = cliFlagValue(argv[i], "jobs")) {
             opts.jobs = static_cast<unsigned>(parseU64(v, argv[i]));
+        } else if (const char *v = cliFlagValue(argv[i], "shards")) {
+            opts.shards = static_cast<unsigned>(parseU64(v, argv[i]));
         } else if (const char *v = cliFlagValue(argv[i], "format")) {
             if (std::strcmp(v, "table") == 0)
                 opts.format = ReportFormat::Table;
@@ -524,6 +562,17 @@ parseHarnessOptions(int argc, char **argv)
         // Anything else is a harness-specific flag or positional
         // argument; the harness parses those itself.
     }
+    // Two-level budget: never let jobs x shards oversubscribe the
+    // machine. Clamping is output-invariant (sharding is bit-identical
+    // at any count), so it only changes wall-clock, never results.
+    // Two-level budget: never let jobs x shards oversubscribe the
+    // machine. Clamping is output-invariant (sharding is bit-identical
+    // at any count), so it only changes wall-clock, never results;
+    // applyOverrides reports it when a sweep actually consumes the
+    // clamped value.
+    opts.shardsRequested = opts.shards;
+    opts.shards = clampedShards(opts.jobs, opts.shards,
+                                ThreadPool::hardwareWorkers());
     return opts;
 }
 
@@ -545,6 +594,15 @@ warnTraceUnused(const HarnessOptions &opts)
                      "note: this harness's grid is not trace-driven; "
                      "--trace=%s has no effect\n",
                      opts.trace.c_str());
+}
+
+void
+warnShardsUnused(const HarnessOptions &opts)
+{
+    if (opts.shardsRequested > 1 || opts.shardsRequested == 0)
+        std::fprintf(stderr,
+                     "note: this harness runs no CMP simulation; "
+                     "--shards has no effect\n");
 }
 
 } // namespace cdir

@@ -37,6 +37,7 @@
 #define CDIR_SIM_SWEEP_HH
 
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -155,6 +156,17 @@ class SweepRunner
      * within config — independent of scheduling.
      */
     std::vector<SweepRecord> run(const SweepSpec &spec) const;
+
+    /**
+     * Run several sweep specs as one flattened cell pool, so a
+     * multi-configuration harness (fig08/fig10/fig12's Shared-L2 +
+     * Private-L2 grids) parallelizes across *both* grids instead of
+     * draining them one after the other. Results and stderr diagnostics
+     * are grouped per spec in input order, each inner vector exactly as
+     * run(spec) would have produced it.
+     */
+    std::vector<std::vector<SweepRecord>>
+    runMany(std::span<const SweepSpec> specs) const;
 
     /**
      * Generic grid escape hatch: compute `fn(i)` for each cell index on
@@ -282,10 +294,36 @@ class Reporter
 
 // --- shared harness CLI ------------------------------------------------------
 
+/**
+ * Two-level thread budget: with @p jobs sweep cells in flight and each
+ * cell running @p shards intra-experiment lanes, jobs x shards threads
+ * compete for @p hardware lanes. Returns the shard count to actually
+ * use: @p shards clamped so the product never oversubscribes, and >= 1.
+ * `jobs == 0` (all hardware threads) leaves no shard headroom;
+ * `shards == 0` asks for the full remaining budget (hardware / jobs).
+ */
+unsigned clampedShards(unsigned jobs, unsigned shards, unsigned hardware);
+
 /** Options every figure harness and example accepts. */
 struct HarnessOptions
 {
     unsigned jobs = 0;          //!< --jobs=N  (0 = hardware threads)
+    /**
+     * --shards=N: execution lanes *inside* each experiment cell
+     * (CmpSystem slice sharding; 0 = fill the remaining thread budget).
+     * parseHarnessOptions clamps it through clampedShards() so
+     * jobs x shards never oversubscribes the machine. Results are
+     * bit-identical at any value.
+     */
+    unsigned shards = 1;
+    /**
+     * The raw --shards= value before the jobs x shards clamp (1 when
+     * the flag was absent, 0 = auto). Single-experiment binaries —
+     * which run one cell, so --jobs does not apply — re-budget it with
+     * `clampedShards(1, shardsRequested, hardware)` instead of using
+     * the sweep-clamped @ref shards.
+     */
+    unsigned shardsRequested = 1;
     ReportFormat format = ReportFormat::Table; //!< --format=table|csv|json
     std::string filter;         //!< --filter=substr[,substr...]
     std::uint64_t scale = 1;    //!< --scale=N  run-length multiplier
@@ -305,7 +343,13 @@ struct HarnessOptions
         return SweepOptions{jobs, filter};
     }
 
-    /** Apply the --warmup/--measure overrides to @p opts. */
+    /**
+     * Apply the --warmup/--measure/--shards overrides to @p opts.
+     * Sweep-grid consumers take the budget-clamped shard count; the
+     * clamp is reported on stderr (once per process) here — at the
+     * point the clamped value is actually consumed — so binaries that
+     * re-budget from shardsRequested never emit a misleading note.
+     */
     ExperimentOptions
     applyOverrides(ExperimentOptions opts) const
     {
@@ -313,6 +357,19 @@ struct HarnessOptions
             opts.warmupAccesses = warmupOverride;
         if (measureOverride != 0)
             opts.measureAccesses = measureOverride;
+        opts.shards = shards;
+        if (shardsRequested > 1 && shards != shardsRequested) {
+            static bool noted = false;
+            if (!noted) {
+                noted = true;
+                std::fprintf(stderr,
+                             "note: --shards=%u requested; grid cells "
+                             "run %u lane(s) each so jobs x shards "
+                             "fits the hardware threads (results are "
+                             "identical at any shard count)\n",
+                             shardsRequested, shards);
+            }
+        }
         return opts;
     }
 };
@@ -345,6 +402,14 @@ void warnFilterUnused(const HarnessOptions &opts);
  * trace is never silently ignored.
  */
 void warnTraceUnused(const HarnessOptions &opts);
+
+/**
+ * Stderr note that --shards was given but does not apply. Harnesses
+ * whose grids never construct a CmpSystem (analytical cost models,
+ * hash characteristics) call this so a supplied shard count is never
+ * silently ignored.
+ */
+void warnShardsUnused(const HarnessOptions &opts);
 
 } // namespace cdir
 

@@ -9,21 +9,34 @@
  *    space-reduction techniques");
  *  - cuckoo table stress with interleaved insert/erase against a
  *    shadow map;
- *  - determinism of whole-system runs.
+ *  - determinism of whole-system runs;
+ *  - cross-organization differential stress: one randomized workload
+ *    replayed through every registered organization, asserting the
+ *    shared coherence invariants (sharer-set coverage,
+ *    eviction-invalidation accounting, conflict-free organizations
+ *    agreeing on cache behaviour) and serial/sharded equality. The
+ *    workload profile is drawn from a logged seed; set
+ *    CDIR_STRESS_SEED=N to replay an extra profile when chasing a
+ *    failure.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "directory/cuckoo_directory.hh"
 #include "directory/cuckoo_table.hh"
 #include "directory/directory.hh"
+#include "directory/registry.hh"
 #include "sim/experiment.hh"
 
 #include "dir_test_util.hh"
+#include "golden_trace_util.hh"
 
 namespace cdir {
 namespace {
@@ -294,6 +307,147 @@ TEST(CuckooTableStress, ReinsertAfterEraseFindsFreshPayload)
     ASSERT_NE(table.find(42), nullptr);
     EXPECT_EQ(*table.find(42), 2);
     EXPECT_EQ(table.size(), 1u);
+}
+
+// --- cross-organization differential stress ----------------------------------------
+
+/**
+ * Randomized sharing profile drawn from @p seed: footprints, mixes, and
+ * skews all vary, so different seeds stress different directory paths
+ * (upgrade-heavy, eviction-heavy, private-dominated).
+ */
+WorkloadParams
+randomStressProfile(std::uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    WorkloadParams wl;
+    wl.name = "stress-" + std::to_string(seed);
+    wl.numCores = 4;
+    wl.seed = seed;
+    wl.codeBlocks = 32 + rng.below(256);
+    wl.sharedBlocks = 64 + rng.below(1024);
+    wl.privateBlocksPerCore = 32 + rng.below(512);
+    wl.instructionFraction = 0.1 + 0.4 * rng.uniform();
+    wl.sharedDataFraction = 0.2 + 0.5 * rng.uniform();
+    wl.writeFraction = 0.05 + 0.4 * rng.uniform();
+    wl.codeTheta = rng.uniform();
+    wl.sharedTheta = rng.uniform();
+    wl.privateTheta = rng.uniform();
+    return wl;
+}
+
+/** Per-organization outcome of one stress replay. */
+struct StressOutcome
+{
+    CmpStats system;
+    DirectoryStats directory;
+    bool covers = false;
+};
+
+StressOutcome
+replayStress(const std::string &organization, const WorkloadParams &wl,
+             std::uint64_t accesses, unsigned shards)
+{
+    // The golden suite's under-provisioned 4-core replay system: the
+    // stress profiles must exercise the same conflict paths the pinned
+    // tables cover.
+    CmpSystem system(test::goldenReplayConfig(organization,
+                                              CmpConfigKind::SharedL2));
+    system.setShards(shards);
+    SyntheticWorkload gen(wl);
+    system.run(gen, accesses);
+    return StressOutcome{system.stats(),
+                         system.aggregateDirectoryStats(),
+                         system.directoryCoversCaches()};
+}
+
+TEST(DifferentialStress, AllOrganizationsHoldCoherenceInvariants)
+{
+    std::vector<std::uint64_t> seeds = {11, 42, 1337};
+    if (const char *extra = std::getenv("CDIR_STRESS_SEED"))
+        seeds.push_back(std::strtoull(extra, nullptr, 10));
+
+    const DirectoryRegistry &registry = DirectoryRegistry::instance();
+    for (const std::uint64_t seed : seeds) {
+        SCOPED_TRACE("stress seed " + std::to_string(seed) +
+                     " (replay with CDIR_STRESS_SEED=" +
+                     std::to_string(seed) + " ./property_test)");
+        const WorkloadParams wl = randomStressProfile(seed);
+        constexpr std::uint64_t kAccesses = 30000;
+
+        // One conflict-free organization's cache-side behaviour is the
+        // reference: every other conflict-free organization must agree
+        // on it exactly (they never force evictions, and imprecise
+        // write-invalidation supersets only ever target non-resident
+        // blocks, so the private caches evolve identically).
+        bool have_reference = false;
+        CmpStats reference;
+
+        for (const std::string &org : registry.names()) {
+            SCOPED_TRACE("organization " + org);
+            const StressOutcome out =
+                replayStress(org, wl, kAccesses, 1);
+            const CmpStats &sys = out.system;
+            const DirectoryStats &dir = out.directory;
+
+            // Sharer-set supersets: every resident private-cache block
+            // is tracked by its home slice with its cache in the
+            // (possibly imprecise) sharer set.
+            EXPECT_TRUE(out.covers);
+
+            // Bookkeeping identities shared by every organization.
+            EXPECT_EQ(sys.accesses, kAccesses);
+            EXPECT_EQ(sys.cacheHits + sys.cacheMisses, sys.accesses);
+            EXPECT_EQ(dir.lookups, sys.cacheMisses + sys.writeUpgrades);
+            EXPECT_LE(dir.hits, dir.lookups);
+            EXPECT_LE(dir.insertions, dir.lookups);
+
+            // Eviction-invalidation accounting: the system-side forced
+            // invalidations are the resident subset of the directory's
+            // forced-eviction targets, and cache-side eviction
+            // notifications can only retire sharers that exist.
+            EXPECT_LE(sys.forcedInvalidations,
+                      dir.forcedBlockInvalidations);
+            EXPECT_LE(dir.forcedEvictions, dir.insertions);
+            EXPECT_LE(dir.sharerRemovals, sys.cacheEvictions);
+
+            if (registry.traits(org).mirrorsTrackedCaches) {
+                // Mirrored geometry cannot conflict (§3.1).
+                EXPECT_EQ(dir.forcedEvictions, 0u);
+                EXPECT_EQ(dir.forcedBlockInvalidations, 0u);
+                EXPECT_EQ(sys.forcedInvalidations, 0u);
+                if (!have_reference) {
+                    reference = sys;
+                    have_reference = true;
+                } else {
+                    EXPECT_EQ(sys.cacheHits, reference.cacheHits);
+                    EXPECT_EQ(sys.cacheMisses, reference.cacheMisses);
+                    EXPECT_EQ(sys.cacheEvictions,
+                              reference.cacheEvictions);
+                    EXPECT_EQ(sys.sharingInvalidations,
+                              reference.sharingInvalidations);
+                }
+            }
+
+            // Differential shard axis: the same replay at 3 lanes must
+            // agree bit for bit (slice independence).
+            const StressOutcome sharded =
+                replayStress(org, wl, kAccesses, 3);
+            EXPECT_EQ(sharded.system.cacheMisses, sys.cacheMisses);
+            EXPECT_EQ(sharded.system.sharingInvalidations,
+                      sys.sharingInvalidations);
+            EXPECT_EQ(sharded.system.forcedInvalidations,
+                      sys.forcedInvalidations);
+            EXPECT_EQ(sharded.directory.insertions, dir.insertions);
+            EXPECT_EQ(sharded.directory.forcedEvictions,
+                      dir.forcedEvictions);
+            EXPECT_EQ(sharded.directory.insertionAttempts.sum(),
+                      dir.insertionAttempts.sum());
+            EXPECT_EQ(sharded.covers, out.covers);
+        }
+        EXPECT_TRUE(have_reference)
+            << "no conflict-free organization registered?";
+    }
 }
 
 // --- whole-system determinism ------------------------------------------------------

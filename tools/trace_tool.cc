@@ -52,11 +52,14 @@ usage(const char *error = nullptr)
         "      traces. Default format is binary; --text writes lines.\n"
         "  trace_tool replay <trace> [--cores=N] [--private-l2]\n"
         "             [--org=NAME] [--ways=N] [--sets=N] [--warmup=N]\n"
-        "             [--measure=N] [--format=table|csv|json]\n"
+        "             [--measure=N] [--shards=N]\n"
+        "             [--format=table|csv|json]\n"
         "      runExperiment over the trace: warmup (stats discarded),\n"
         "      then measure; reports the directory metrics. Defaults\n"
         "      warmup=2000000 measure=2000000 (--warmup=0 = none); a\n"
         "      trace shorter than warmup+measure simply ends early.\n"
+        "      --shards partitions the directory slices across parallel\n"
+        "      lanes (bit-identical results at any count).\n"
         "  trace_tool info <trace>\n"
         "      format, record count, per-op and per-core census.\n"
         "  trace_tool convert <in> <out> [--text]\n"
@@ -83,6 +86,7 @@ struct CommonFlags
     std::uint64_t seed = 0;           // 0 = preset default
     std::uint64_t warmup = kUnset;    // unset = ExperimentOptions default
     std::uint64_t measure = kUnset;
+    std::uint64_t shards = 1;         // intra-experiment lanes
     std::uint64_t ways = 0;           // 0 = organization default
     std::uint64_t sets = 0;
     std::uint64_t codeBlocks = 0;     // 0 = preset footprint
@@ -119,6 +123,8 @@ parseFlags(int argc, char **argv, int first,
             ok = parseU64(v, flags.warmup);
         } else if ((v = cliFlagValue(arg, name = "measure"))) {
             ok = parseU64(v, flags.measure);
+        } else if ((v = cliFlagValue(arg, name = "shards"))) {
+            ok = parseU64(v, flags.shards) && flags.shards != 0;
         } else if ((v = cliFlagValue(arg, name = "ways"))) {
             ok = parseU64(v, flags.ways) && flags.ways != 0;
         } else if ((v = cliFlagValue(arg, name = "sets"))) {
@@ -237,7 +243,7 @@ cmdReplay(int argc, char **argv)
     CommonFlags flags;
     if (!parseFlags(argc, argv, 3,
                     {"cores", "private-l2", "org", "ways", "sets",
-                     "warmup", "measure", "format"},
+                     "warmup", "measure", "shards", "format"},
                     flags))
         return usage();
 
@@ -256,6 +262,7 @@ cmdReplay(int argc, char **argv)
         options.warmupAccesses = flags.warmup; // --warmup=0 is honoured
     if (flags.measure != kUnset)
         options.measureAccesses = flags.measure;
+    options.shards = static_cast<unsigned>(flags.shards);
 
     const ExperimentResult result = runExperiment(
         config, traceWorkloadParams(argv[2]), options);
