@@ -91,9 +91,7 @@ main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     const std::uint64_t ops = flagU64(argc, argv, "ops", 300000);
-    warnFilterUnused(cli);
-    warnTraceUnused(cli);
-    warnShardsUnused(cli);
+    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
     const SweepRunner runner(cli.sweep());
 
     // One cell per (hash kind, occupancy).

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Beyond-the-paper extension: time-resolved directory dynamics under
+ * phased scenarios.
+ *
+ * The paper's figures are end-of-run aggregates over stationary
+ * workloads; its *arguments*, however, are about behaviour over time —
+ * gradual frame-by-frame eviction, stale entries accumulating until
+ * conflicts purge them, invalidation pressure when sharing patterns
+ * change (§3.2, §5.4). This harness drives every registered directory
+ * organization through phased scenarios (workload/scenario.hh) with
+ * interval telemetry on, and prints per-window time series of
+ * occupancy and forced-invalidation rate — directly probing, e.g., how
+ * a Cuckoo directory's occupancy decays after a thread migration
+ * strands stale entries versus how Tagless's imprecise filters and
+ * Duplicate-Tag's exact mirroring respond to the same storm.
+ *
+ *   $ ./ext_phase_dynamics                       # 3 default scenarios
+ *   $ ./ext_phase_dynamics --scenario=all --format=csv
+ *   $ ./ext_phase_dynamics --scenario=diurnal --interval=25000
+ *
+ * Shared flags apply (--jobs/--shards/--format/--filter/--scale/
+ * --warmup/--measure); --interval=N sets the telemetry window (in
+ * accesses). Time series are bit-identical at any --jobs/--shards
+ * value (pinned by tests/scenario_test.cc and the CI scenario smoke).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "directory/registry.hh"
+#include "sim_common.hh"
+#include "workload/scenario.hh"
+
+using namespace cdir;
+using namespace cdir::bench;
+
+namespace {
+
+/**
+ * Comparison sizing per organization on the 16-core Shared-L2 CMP
+ * (2048 frames per slice): the paper's selected Cuckoo (1x) against
+ * 2x-provisioned Sparse/Skewed/Elbow, the §2 exact designs, and
+ * Tagless. Unknown (future) organizations run on their defaults.
+ */
+DirectoryParams
+organizationParams(const std::string &name)
+{
+    if (name == "Cuckoo")
+        return cuckooSliceParams(4, 512);
+    if (name == "Sparse")
+        return sparseSliceParams(8, 512);
+    if (name == "Skewed")
+        return skewedSliceParams(4, 1024);
+    DirectoryParams params;
+    params.organization = name;
+    if (name == "Elbow") {
+        params.ways = 4;
+        params.sets = 1024;
+    }
+    return params;
+}
+
+void
+emitSeries(Reporter &report, const std::string &title,
+           const Scenario &scenario, std::uint64_t first_access,
+           std::uint64_t interval,
+           const std::vector<SweepRecord> &records,
+           double (*metric)(const IntervalRecord &))
+{
+    std::size_t num_windows = 0;
+    for (const SweepRecord &rec : records)
+        num_windows =
+            std::max(num_windows, rec.result.intervals.windows.size());
+
+    std::vector<std::string> columns{"access", "phase"};
+    for (const SweepRecord &rec : records)
+        columns.push_back(rec.configLabel);
+    ReportTable table(title, std::move(columns));
+    for (std::size_t w = 0; w < num_windows; ++w) {
+        const std::uint64_t start = first_access + w * interval;
+        std::vector<ReportCell> row;
+        row.push_back(cellNum(double(start), "%.0f"));
+        row.push_back(cellText(scenario.phaseAt(start).label));
+        for (const SweepRecord &rec : records) {
+            const auto &windows = rec.result.intervals.windows;
+            row.push_back(w < windows.size()
+                              ? cellNum(metric(windows[w]), "%.4f")
+                              : cellMissing());
+        }
+        table.addRow(std::move(row));
+    }
+    report.table(table);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    warnFlagUnused(cli, {"trace"});
+
+    std::uint64_t interval = 50'000;
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = cliFlagValue(argv[i], "interval")) {
+            char *end = nullptr;
+            interval = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0' || interval == 0) {
+                std::fprintf(stderr,
+                             "ext_phase_dynamics: bad --interval value "
+                             "'%s'\n",
+                             v);
+                return 2;
+            }
+        }
+    }
+
+    const std::string scenario_arg = cli.scenario.empty()
+                                         ? "migration-storm,"
+                                           "phase-oltp-dss,consolidation"
+                                         : cli.scenario;
+    const std::vector<std::string> scenarios =
+        splitScenarioSpecs(scenario_arg);
+    if (scenarios.empty()) {
+        std::fprintf(stderr, "ext_phase_dynamics: --scenario= names no "
+                             "scenarios\n");
+        return 2;
+    }
+
+    const CmpConfig base = CmpConfig::paperConfig(CmpConfigKind::SharedL2);
+
+    // No warmup by default: the directory filling from empty *is* the
+    // signal. The default measure length covers one 6-phase preset pass.
+    ExperimentOptions opts;
+    opts.warmupAccesses = 0;
+    opts.measureAccesses = 1'500'000 * cli.scale;
+    opts.occupancySampleEvery = 10'000;
+    opts = cli.applyOverrides(opts);
+    opts.intervalAccesses = interval;
+
+    // One spec per scenario, each carrying the full organization axis;
+    // runMany flattens them into a single cell pool (7 orgs x N
+    // scenarios in flight together).
+    std::vector<SweepSpec> specs;
+    std::vector<Scenario> resolved;
+    for (const std::string &item : scenarios) {
+        try {
+            resolved.push_back(resolveScenario(item, base.numCores));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "--scenario: %s\n", e.what());
+            return 2;
+        }
+        SweepSpec spec;
+        spec.options("", opts);
+        spec.workload(resolved.back().name, scenarioWorkloadParams(item));
+        for (const std::string &org :
+             DirectoryRegistry::instance().names())
+            spec.config(org, paperConfigWith(CmpConfigKind::SharedL2,
+                                             organizationParams(org)));
+        specs.push_back(std::move(spec));
+    }
+
+    const SweepRunner runner(cli.sweep());
+    const std::vector<std::vector<SweepRecord>> results =
+        runner.runMany(specs);
+
+    Reporter report(cli.format);
+    report.note("phase dynamics: " + std::to_string(interval) +
+                "-access windows, 16-core Shared-L2 CMP; occupancy is "
+                "the window-end fraction of directory entries in use, "
+                "invalidation rate is forced evictions per insertion "
+                "within the window");
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        const Scenario &scenario = resolved[s];
+        emitSeries(report,
+                   "occupancy over time: " + scenario.name, scenario,
+                   opts.warmupAccesses, interval, results[s],
+                   [](const IntervalRecord &rec) {
+                       return rec.occupancy();
+                   });
+        emitSeries(report,
+                   "forced-invalidation rate over time: " + scenario.name,
+                   scenario, opts.warmupAccesses, interval, results[s],
+                   [](const IntervalRecord &rec) {
+                       return rec.invalidationRate();
+                   });
+    }
+    return 0;
+}

@@ -66,9 +66,7 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnFilterUnused(cli);
-    warnTraceUnused(cli);
-    warnShardsUnused(cli);
+    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
     const SweepRunner runner(cli.sweep());
 
     // One grid cell per (organization, core count).

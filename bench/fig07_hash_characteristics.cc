@@ -83,9 +83,7 @@ main(int argc, char **argv)
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     const std::uint64_t values =
         bench::flagU64(argc, argv, "values", 400000);
-    warnFilterUnused(cli);
-    warnTraceUnused(cli);
-    warnShardsUnused(cli);
+    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
     const SweepRunner runner(cli.sweep());
 
     const auto series = runner.map<AritySeries>(

@@ -41,7 +41,7 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnTraceUnused(cli);
+    warnFlagUnused(cli, {"trace", "scenario"});
     const SweepRunner runner(cli.sweep());
 
     // Both worst cases form one two-cell grid; map() runs the two

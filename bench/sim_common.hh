@@ -54,14 +54,20 @@ paperConfigWith(CmpConfigKind kind, const DirectoryParams &dir)
  * Sweep spec over the workload axis for @p kind, with the tuned run
  * lengths (respecting the CLI --scale/--warmup/--measure). The axis is
  * the full Table 2 suite — or, with --trace=<file|dir>, one point per
- * recorded trace file replayed through the grid instead. The caller
- * appends its config axis points.
+ * recorded trace file replayed through the grid; or, with
+ * --scenario=<name|file>[,...], one point per phased scenario. The
+ * caller appends its config axis points.
  */
 inline SweepSpec
 paperSweep(CmpConfigKind kind, const HarnessOptions &cli)
 {
     SweepSpec spec;
     spec.options("", cli.applyOverrides(optionsFor(kind, cli.scale)));
+    if (!cli.trace.empty() && !cli.scenario.empty()) {
+        std::fprintf(stderr, "--trace and --scenario are mutually "
+                             "exclusive workload axes\n");
+        std::exit(2);
+    }
     if (!cli.trace.empty()) {
         try {
             appendTraceWorkloads(spec, cli.trace);
@@ -70,6 +76,20 @@ paperSweep(CmpConfigKind kind, const HarnessOptions &cli)
             // exit cleanly instead of aborting through an uncaught
             // exception in the harness main.
             std::fprintf(stderr, "--trace: %s\n", e.what());
+            std::exit(2);
+        }
+        return spec;
+    }
+    if (!cli.scenario.empty()) {
+        try {
+            // The paper grids all run Table 1 CMPs, so an over-wide
+            // scenario file is rejected up front instead of emptying
+            // the table one thrown cell at a time.
+            appendScenarioWorkloads(
+                spec, cli.scenario,
+                CmpConfig::paperConfig(kind).numCores);
+        } catch (const std::runtime_error &e) {
+            std::fprintf(stderr, "--scenario: %s\n", e.what());
             std::exit(2);
         }
         return spec;

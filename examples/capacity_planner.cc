@@ -92,9 +92,7 @@ main(int argc, char **argv)
         {"Duplicate-Tag", OrgModel::DuplicateTag},
     };
 
-    warnFilterUnused(cli);
-    warnTraceUnused(cli);
-    warnShardsUnused(cli);
+    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
     const SweepRunner runner(cli.sweep());
     const auto costs = runner.map<DirCost>(
         std::size(candidates), [&](std::size_t i) {

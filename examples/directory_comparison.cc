@@ -33,7 +33,7 @@ main(int argc, char **argv)
         }
     }
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnTraceUnused(cli);
+    warnFlagUnused(cli, {"trace", "scenario"});
 
     struct Contender
     {

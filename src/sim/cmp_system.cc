@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "common/bit_util.hh"
 #include "directory/registry.hh"
@@ -27,8 +28,12 @@ CmpConfig::paperConfig(CmpConfigKind kind, std::size_t cores)
 
 CmpSystem::CmpSystem(const CmpConfig &config) : cfg(config)
 {
-    assert(isPowerOfTwo(cfg.numSlices));
-    assert(cfg.batchWindow >= 1);
+    if (cfg.numSlices == 0 || !isPowerOfTwo(cfg.numSlices))
+        throw std::invalid_argument(
+            "CmpConfig: numSlices must be a power of two (got " +
+            std::to_string(cfg.numSlices) + ")");
+    if (cfg.batchWindow < 1)
+        throw std::invalid_argument("CmpConfig: batchWindow must be >= 1");
     sliceMask = cfg.numSlices - 1;
     sliceShift = floorLog2(cfg.numSlices);
 
@@ -45,8 +50,19 @@ CmpSystem::CmpSystem(const CmpConfig &config) : cfg(config)
             .traits(organization)
             .mirrorsTrackedCaches) {
         // These organizations mirror the tracked caches' sets; a slice
-        // covers cacheSets / numSlices of them (Fig. 3).
-        assert(cfg.privateCache.numSets >= cfg.numSlices);
+        // covers cacheSets / numSlices of them (Fig. 3). A very large
+        // system whose slice count exceeds the private cache's sets
+        // would round that to *zero* sets per slice — a mis-sized
+        // directory that used to slip through silently in release
+        // builds (the former assert); reject it explicitly.
+        if (cfg.privateCache.numSets < cfg.numSlices)
+            throw std::invalid_argument(
+                "CmpConfig: organization '" + organization +
+                "' mirrors the tracked caches, but numSlices (" +
+                std::to_string(cfg.numSlices) +
+                ") exceeds the private cache's sets (" +
+                std::to_string(cfg.privateCache.numSets) +
+                ") — each slice would cover zero sets");
         dir.sets = cfg.privateCache.numSets / cfg.numSlices;
     }
     slices.reserve(cfg.numSlices);
@@ -425,16 +441,63 @@ CmpSystem::resetStats()
 bool
 CmpSystem::directoryCoversCaches() const
 {
-    DynamicBitset sharers;
-    for (std::size_t c = 0; c < caches.size(); ++c) {
-        for (BlockAddr addr : caches[c]->residentAddresses()) {
-            if (!slices[sliceOf(addr)]->probe(tagOf(addr), &sharers))
-                return false;
-            if (c < sharers.size() && !sharers.test(c))
-                return false;
-        }
+    // The invariant per resident block: its home slice tracks the tag
+    // with a sharer set that names the holding cache. An *undersized*
+    // sharer vector — a slice that cannot even name cache c — is a
+    // coverage failure, never a silent pass.
+    DynamicBitset probe_sharers;
+    const auto covers = [this](CacheId cache, BlockAddr addr,
+                               DynamicBitset &sharers) {
+        if (!slices[sliceOf(addr)]->probe(tagOf(addr), &sharers))
+            return false;
+        return cache < sharers.size() && sharers.test(cache);
+    };
+
+    if (shardCount <= 1) {
+        for (std::size_t c = 0; c < caches.size(); ++c)
+            for (BlockAddr addr : caches[c]->residentAddresses())
+                if (!covers(static_cast<CacheId>(c), addr,
+                            probe_sharers))
+                    return false;
+        return true;
     }
-    return true;
+
+    // Shard-aware: at large core counts the probe walk dominates, so
+    // enumerate every cache's resident set once, bucket the blocks by
+    // owning lane (slice mod shards), and fan the probing out over the
+    // persistent shard lanes. Lanes probe disjoint slice state, making
+    // the fan-out race-free; only the scheduler is touched, hence the
+    // const_cast.
+    struct ResidentBlock
+    {
+        CacheId cache;
+        BlockAddr addr;
+    };
+    std::vector<std::vector<ResidentBlock>> lane_work(shardCount);
+    for (std::size_t c = 0; c < caches.size(); ++c)
+        for (BlockAddr addr : caches[c]->residentAddresses())
+            lane_work[shardOf(sliceOf(addr))].push_back(
+                ResidentBlock{static_cast<CacheId>(c), addr});
+
+    std::vector<char> covered(shardCount, 1);
+    const auto laneCovers = [this, &lane_work,
+                             &covers](std::size_t lane) {
+        DynamicBitset sharers;
+        for (const ResidentBlock &block : lane_work[lane])
+            if (!covers(block.cache, block.addr, sharers))
+                return false;
+        return true;
+    };
+    auto *self = const_cast<CmpSystem *>(this);
+    for (std::size_t k = 1; k < shardCount; ++k) {
+        self->shardGroup->run([&laneCovers, &covered, k] {
+            covered[k] = laneCovers(k) ? 1 : 0;
+        });
+    }
+    covered[0] = laneCovers(0) ? 1 : 0;
+    self->shardGroup->wait();
+    return std::all_of(covered.begin(), covered.end(),
+                       [](char ok) { return ok != 0; });
 }
 
 } // namespace cdir

@@ -167,6 +167,13 @@ struct CmpStats
 class CmpSystem
 {
   public:
+    /**
+     * @throws std::invalid_argument for a mis-sized configuration:
+     * non-power-of-two slice count, zero batch window, or a
+     * cache-mirroring organization (Duplicate-Tag/Tagless) whose slice
+     * count exceeds the private cache's sets — the very-large-system
+     * geometry that would silently round to zero-set slices.
+     */
     explicit CmpSystem(const CmpConfig &config);
 
     /** Drive one memory reference through the system. */
@@ -236,7 +243,12 @@ class CmpSystem
 
     /**
      * Invariant check (tests): every resident private-cache block is
-     * tracked by its home slice.
+     * tracked by its home slice, with a sharer set large enough to name
+     * the holding cache (an undersized sharer vector fails the check).
+     * Shard-aware: with setShards(N > 1) the walk fans out across the
+     * persistent shard lanes — each lane probes only the slices it owns
+     * — so very large systems validate in parallel; the result is
+     * identical at any shard count.
      * @return true iff the directory covers all cached blocks.
      */
     bool directoryCoversCaches() const;

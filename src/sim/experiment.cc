@@ -1,6 +1,121 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/scenario.hh"
+
 namespace cdir {
+
+namespace {
+
+/** Point-in-time aggregate counters an interval delta is cut from. */
+struct StatsSnapshot
+{
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t insertions = 0;
+    double attemptSum = 0.0;
+    std::uint64_t attemptCount = 0;
+    std::uint64_t forcedEvictions = 0;
+    std::uint64_t sharingInvalidations = 0;
+    std::uint64_t forcedInvalidations = 0;
+};
+
+StatsSnapshot
+takeSnapshot(const CmpSystem &system)
+{
+    const DirectoryStats dir = system.aggregateDirectoryStats();
+    StatsSnapshot snap;
+    snap.cacheMisses = system.stats().cacheMisses;
+    snap.insertions = dir.insertions;
+    snap.attemptSum = dir.insertionAttempts.sum();
+    snap.attemptCount = dir.insertionAttempts.count();
+    snap.forcedEvictions = dir.forcedEvictions;
+    snap.sharingInvalidations = system.stats().sharingInvalidations;
+    snap.forcedInvalidations = system.stats().forcedInvalidations;
+    return snap;
+}
+
+/**
+ * Measure run with interval telemetry: cut into intervalAccesses-sized
+ * windows, each recording the counter deltas since the previous
+ * boundary plus an occupancy point sample. The attempt sums are
+ * integer-valued (exactly representable doubles), so the delta
+ * arithmetic is exact.
+ */
+void
+runMeasureWithIntervals(CmpSystem &system, AccessSource &source,
+                        const ExperimentOptions &options,
+                        IntervalStats &intervals)
+{
+    intervals.intervalAccesses = options.intervalAccesses;
+    std::uint64_t capacity = 0;
+    for (std::size_t s = 0; s < system.numSlices(); ++s)
+        capacity += system.slice(s).capacity();
+
+    StatsSnapshot prev = takeSnapshot(system);
+    std::uint64_t remaining = options.measureAccesses;
+    while (remaining > 0) {
+        const std::uint64_t chunk =
+            std::min(options.intervalAccesses, remaining);
+        const std::uint64_t executed =
+            system.run(source, chunk, options.occupancySampleEvery);
+        if (executed == 0)
+            break; // source exhausted on the window boundary
+        const StatsSnapshot cur = takeSnapshot(system);
+
+        IntervalRecord rec;
+        rec.accesses = executed;
+        rec.cacheMisses = cur.cacheMisses - prev.cacheMisses;
+        rec.insertions = cur.insertions - prev.insertions;
+        rec.attemptSum = static_cast<std::uint64_t>(cur.attemptSum -
+                                                    prev.attemptSum);
+        rec.insertionAttemptCount = cur.attemptCount - prev.attemptCount;
+        rec.forcedEvictions =
+            cur.forcedEvictions - prev.forcedEvictions;
+        rec.sharingInvalidations =
+            cur.sharingInvalidations - prev.sharingInvalidations;
+        rec.forcedInvalidations =
+            cur.forcedInvalidations - prev.forcedInvalidations;
+        for (std::size_t s = 0; s < system.numSlices(); ++s)
+            rec.occupiedEntries += system.slice(s).validEntries();
+        rec.capacityEntries = capacity;
+        intervals.windows.push_back(rec);
+
+        prev = cur;
+        remaining -= executed;
+        if (executed < chunk)
+            break; // source exhausted mid-window
+    }
+}
+
+} // namespace
+
+std::unique_ptr<AccessSource>
+makeWorkloadSource(const CmpConfig &config, const WorkloadParams &workload)
+{
+    if (!workload.tracePath.empty() && !workload.scenarioSpec.empty())
+        throw std::runtime_error(
+            "workload '" + workload.name +
+            "' sets both tracePath and scenarioSpec; they are "
+            "mutually exclusive");
+    if (!workload.tracePath.empty()) {
+        // Trace cell: an independent strict reader (bounded to the
+        // system's core count), so concurrent sweep cells over one
+        // trace file share nothing and any --jobs value yields
+        // bit-identical results.
+        return makeTraceReader(workload.tracePath,
+                               TraceReadOptions{config.numCores, true});
+    }
+    if (!workload.scenarioSpec.empty()) {
+        // Scenario cell: resolve the preset/file for this system's core
+        // count; the workload is deterministic, so per-cell instances
+        // yield identical streams.
+        return std::make_unique<ScenarioWorkload>(
+            resolveScenario(workload.scenarioSpec, config.numCores));
+    }
+    return std::make_unique<SyntheticSource>(workload);
+}
 
 ExperimentResult
 runExperiment(const CmpConfig &config, const WorkloadParams &workload,
@@ -9,29 +124,23 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
     CmpSystem system(config);
     system.setShards(options.shards);
 
-    if (!workload.tracePath.empty()) {
-        // Trace cell: replay the file through the same warmup-then-
-        // measure methodology. Each call opens an independent strict
-        // reader (bounded to the system's core count), so concurrent
-        // sweep cells over one trace file share nothing and any --jobs
-        // value yields bit-identical results. A trace shorter than
-        // warmup + measure simply ends early (system.accesses records
-        // how much actually ran).
-        const std::unique_ptr<AccessSource> source = makeTraceReader(
-            workload.tracePath, TraceReadOptions{config.numCores, true});
-        system.run(*source, options.warmupAccesses);
-        system.resetStats();
+    // Warmup-then-measure methodology (§5): warm the system with
+    // statistics discarded, then measure. A trace shorter than
+    // warmup + measure simply ends early (system.accesses records how
+    // much actually ran).
+    const std::unique_ptr<AccessSource> source =
+        makeWorkloadSource(config, workload);
+    system.run(*source, options.warmupAccesses);
+    system.resetStats();
+
+    ExperimentResult result;
+    if (options.intervalAccesses == 0) {
         system.run(*source, options.measureAccesses,
                    options.occupancySampleEvery);
     } else {
-        SyntheticWorkload gen(workload);
-        system.run(gen, options.warmupAccesses);
-        system.resetStats();
-        system.run(gen, options.measureAccesses,
-                   options.occupancySampleEvery);
+        runMeasureWithIntervals(system, *source, options,
+                                result.intervals);
     }
-
-    ExperimentResult result;
     result.workload = workload.name;
     result.organization = system.slice(0).name();
     result.directory = system.aggregateDirectoryStats();

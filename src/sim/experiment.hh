@@ -9,9 +9,11 @@
 #define CDIR_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sim/cmp_system.hh"
+#include "sim/interval_stats.hh"
 
 namespace cdir {
 
@@ -34,6 +36,12 @@ struct ExperimentResult
     DirectoryStats directory;
     /** Full system counters. */
     CmpStats system;
+    /**
+     * Per-window time series of the measure run; empty unless
+     * ExperimentOptions::intervalAccesses was non-zero (the telemetry
+     * is free when unused — see sim/interval_stats.hh).
+     */
+    IntervalStats intervals;
 };
 
 /** Knobs for experiment length (defaults keep full runs under minutes). */
@@ -50,17 +58,39 @@ struct ExperimentOptions
      * clampedShards() in sim/sweep.hh for the jobs x shards budget.
      */
     unsigned shards = 1;
+    /**
+     * Interval telemetry window in accesses: non-zero cuts the measure
+     * run into windows of this many accesses and records a per-window
+     * IntervalRecord into ExperimentResult::intervals. 0 (the default)
+     * collects nothing and keeps the exact single-call measure path.
+     * With telemetry on, occupancy-mean sampling positions are taken
+     * relative to each window's start.
+     */
+    std::uint64_t intervalAccesses = 0;
 };
 
 /**
  * Run one experiment: construct the system, warm it (statistics
  * discarded), then measure. A workload with a non-empty tracePath is
  * replayed from its file (fresh reader per call, so concurrent cells
- * are independent) instead of generated synthetically.
+ * are independent); one with a scenarioSpec drives a phased
+ * ScenarioWorkload (workload/scenario.hh); otherwise the synthetic
+ * generator runs.
  */
 ExperimentResult runExperiment(const CmpConfig &config,
                                const WorkloadParams &workload,
                                const ExperimentOptions &options = {});
+
+/**
+ * Open the access source @p workload describes for a @p config system:
+ * a strict trace reader (tracePath), a ScenarioWorkload resolved for
+ * config.numCores (scenarioSpec), or a SyntheticSource. Every call
+ * returns an independent instance, so concurrent cells share nothing.
+ * @throws std::runtime_error if tracePath and scenarioSpec are both
+ * set, or if either fails to open/resolve.
+ */
+std::unique_ptr<AccessSource>
+makeWorkloadSource(const CmpConfig &config, const WorkloadParams &workload);
 
 /**
  * Directory parameters for a Cuckoo slice sized as the paper writes it,

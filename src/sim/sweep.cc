@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <string_view>
 
+#include "workload/scenario.hh"
 #include "workload/trace.hh"
 
 namespace cdir {
@@ -75,6 +76,53 @@ appendTraceWorkloads(SweepSpec &spec, const std::string &path)
             stem_collides(i)
                 ? std::filesystem::path(files[i]).filename().string()
                 : params[i].name;
+        params[i].name = label;
+        spec.workload(std::move(label), std::move(params[i]));
+    }
+}
+
+void
+appendScenarioWorkloads(SweepSpec &spec, const std::string &specs,
+                        std::size_t max_cores)
+{
+    const std::vector<std::string> items = splitScenarioSpecs(specs);
+    if (items.empty())
+        throw std::runtime_error("--scenario= names no scenarios");
+
+    const auto &presets = scenarioPresetNames();
+    std::vector<WorkloadParams> params;
+    params.reserve(items.size());
+    for (const std::string &item : items) {
+        // Fail fast on a bad file path, schedule, or core bound: a
+        // preset name is known-good (and adapts to any core count),
+        // anything else must parse as a scenario file now rather than
+        // erroring once per grid cell later.
+        if (std::find(presets.begin(), presets.end(), item) ==
+            presets.end()) {
+            const Scenario scenario = parseScenarioFile(item);
+            if (max_cores != 0 && scenario.numCores > max_cores)
+                throw std::runtime_error(
+                    item + ": scenario needs " +
+                    std::to_string(scenario.numCores) +
+                    " cores but the grid's systems have " +
+                    std::to_string(max_cores));
+        }
+        params.push_back(scenarioWorkloadParams(item));
+    }
+    // Label by stem/preset name, but fall back to the full spec when
+    // labels collide (e.g. a/night.scn + b/night.scn) so axis labels
+    // stay unique and --filter can tell the cells apart — the same
+    // hardening appendTraceWorkloads has.
+    std::vector<std::string> stems;
+    stems.reserve(params.size());
+    for (const WorkloadParams &p : params)
+        stems.push_back(p.name);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        bool collides = false;
+        for (std::size_t j = 0; j < stems.size(); ++j)
+            if (j != i && stems[j] == stems[i])
+                collides = true;
+        std::string label = collides ? items[i] : stems[i];
         params[i].name = label;
         spec.workload(std::move(label), std::move(params[i]));
     }
@@ -181,17 +229,19 @@ SweepRunner::runMany(std::span<const SweepSpec> specs) const
                          label.c_str(), failures[i].c_str());
             continue;
         }
-        // An all-zero cell from a trace exhausted during warmup looks
-        // exactly like a perfect result; never let it pass silently.
-        const bool trace_cell =
-            !specs[cells[i].spec]
-                 .workloads()[rec.workloadIndex]
-                 .workload.tracePath.empty();
-        if (trace_cell && rec.result.system.accesses == 0)
+        // An all-zero cell from a trace (or non-looping scenario)
+        // exhausted during warmup looks exactly like a perfect result;
+        // never let it pass silently.
+        const WorkloadParams &cell_wl = specs[cells[i].spec]
+                                            .workloads()[rec.workloadIndex]
+                                            .workload;
+        const bool finite_cell = !cell_wl.tracePath.empty() ||
+                                 !cell_wl.scenarioSpec.empty();
+        if (finite_cell && rec.result.system.accesses == 0)
             std::fprintf(stderr,
-                         "sweep cell '%s': trace exhausted during "
+                         "sweep cell '%s': workload exhausted during "
                          "warmup — 0 accesses measured (shrink "
-                         "--warmup= or record a longer trace)\n",
+                         "--warmup= or lengthen the trace/scenario)\n",
                          label.c_str());
         surviving[cells[i].spec].push_back(std::move(rec));
     }
@@ -490,7 +540,11 @@ usage(const char *bad)
         "  --measure=N           override measured access count\n"
         "  --trace=FILE|DIR      replay recorded traces as the workload "
         "axis\n"
-        "                        (a directory is swept in sorted order)\n",
+        "                        (a directory is swept in sorted order)\n"
+        "  --scenario=S[,S...]   drive phased scenarios as the workload "
+        "axis\n"
+        "                        (preset names, scenario files, or "
+        "'all')\n",
         bad);
     std::exit(2);
 }
@@ -558,13 +612,14 @@ parseHarnessOptions(int argc, char **argv)
             if (*v == '\0')
                 usage(argv[i]);
             opts.trace = v;
+        } else if (const char *v = cliFlagValue(argv[i], "scenario")) {
+            if (*v == '\0')
+                usage(argv[i]);
+            opts.scenario = v;
         }
         // Anything else is a harness-specific flag or positional
         // argument; the harness parses those itself.
     }
-    // Two-level budget: never let jobs x shards oversubscribe the
-    // machine. Clamping is output-invariant (sharding is bit-identical
-    // at any count), so it only changes wall-clock, never results.
     // Two-level budget: never let jobs x shards oversubscribe the
     // machine. Clamping is output-invariant (sharding is bit-identical
     // at any count), so it only changes wall-clock, never results;
@@ -577,32 +632,41 @@ parseHarnessOptions(int argc, char **argv)
 }
 
 void
-warnFilterUnused(const HarnessOptions &opts)
+warnFlagUnused(const HarnessOptions &opts,
+               std::initializer_list<const char *> flags)
 {
-    if (!opts.filter.empty())
-        std::fprintf(stderr,
-                     "note: this harness runs a generic grid; "
-                     "--filter=%s has no effect\n",
-                     opts.filter.c_str());
-}
-
-void
-warnTraceUnused(const HarnessOptions &opts)
-{
-    if (!opts.trace.empty())
-        std::fprintf(stderr,
-                     "note: this harness's grid is not trace-driven; "
-                     "--trace=%s has no effect\n",
-                     opts.trace.c_str());
-}
-
-void
-warnShardsUnused(const HarnessOptions &opts)
-{
-    if (opts.shardsRequested > 1 || opts.shardsRequested == 0)
-        std::fprintf(stderr,
-                     "note: this harness runs no CMP simulation; "
-                     "--shards has no effect\n");
+    for (const char *flag : flags) {
+        if (std::strcmp(flag, "filter") == 0) {
+            if (!opts.filter.empty())
+                std::fprintf(stderr,
+                             "note: this harness runs a generic grid; "
+                             "--filter=%s has no effect\n",
+                             opts.filter.c_str());
+        } else if (std::strcmp(flag, "trace") == 0) {
+            if (!opts.trace.empty())
+                std::fprintf(stderr,
+                             "note: this harness's grid is not "
+                             "trace-driven; --trace=%s has no effect\n",
+                             opts.trace.c_str());
+        } else if (std::strcmp(flag, "scenario") == 0) {
+            if (!opts.scenario.empty())
+                std::fprintf(stderr,
+                             "note: this harness's grid is not "
+                             "scenario-driven; --scenario=%s has no "
+                             "effect\n",
+                             opts.scenario.c_str());
+        } else if (std::strcmp(flag, "shards") == 0) {
+            if (opts.shardsRequested > 1 || opts.shardsRequested == 0)
+                std::fprintf(stderr,
+                             "note: this harness runs no CMP "
+                             "simulation; --shards has no effect\n");
+        } else {
+            std::fprintf(stderr,
+                         "warnFlagUnused: unknown flag name '%s'\n",
+                         flag);
+            std::abort();
+        }
+    }
 }
 
 } // namespace cdir

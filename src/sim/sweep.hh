@@ -37,6 +37,7 @@
 #define CDIR_SIM_SWEEP_HH
 
 #include <cstdio>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
@@ -207,6 +208,22 @@ std::string sweepCellLabel(const std::string &config_label,
  */
 void appendTraceWorkloads(SweepSpec &spec, const std::string &path);
 
+/**
+ * Append one workload axis point per scenario in @p specs — the
+ * harnesses' `--scenario=` axis: a comma-separated list of preset
+ * names and/or scenario file paths, or "all" for every preset
+ * (workload/scenario.hh). Labels are preset names / file stems.
+ * File scenarios are parsed eagerly so a bad path or schedule fails
+ * here, not in every grid cell; a non-zero @p max_cores additionally
+ * rejects a file needing more cores than the grid's CMPs provide
+ * (otherwise every cell would throw and be dropped, leaving an empty
+ * table that exits 0).
+ * @throws std::runtime_error on an unknown preset, unreadable file,
+ * invalid schedule, or over-wide scenario.
+ */
+void appendScenarioWorkloads(SweepSpec &spec, const std::string &specs,
+                             std::size_t max_cores = 0);
+
 // --- reporting ---------------------------------------------------------------
 
 /** Output format shared by every harness (--format=). */
@@ -335,6 +352,13 @@ struct HarnessOptions
      * sorted order). Empty = synthetic presets.
      */
     std::string trace;
+    /**
+     * --scenario=<name|file>[,...]: replace the workload axis with
+     * phased scenarios (preset names, scenario files, or "all" for
+     * every preset — see workload/scenario.hh). Empty = synthetic
+     * presets. Mutually exclusive with --trace.
+     */
+    std::string scenario;
 
     /** SweepOptions with this jobs/filter pair. */
     SweepOptions
@@ -389,27 +413,21 @@ HarnessOptions parseHarnessOptions(int argc, char **argv);
 const char *cliFlagValue(const char *arg, const char *name);
 
 /**
- * Stderr note that --filter was given but does not apply. Harnesses
- * whose whole grid runs through the generic map() (no cell labels)
- * call this so a supplied filter is never silently ignored.
+ * Stderr note that a shared flag was supplied but has no effect on this
+ * harness — one helper for every inapplicable-flag warning, so a
+ * harness states which flags its grid cannot honour in a single call
+ * instead of duplicating per-flag boilerplate:
+ *
+ *     warnFlagUnused(cli, {"filter", "trace", "shards", "scenario"});
+ *
+ * Known names: "filter" (generic map() grids have no cell labels),
+ * "trace" / "scenario" (the workload axis is not built from
+ * paperSweep), and "shards" (the grid never constructs a CmpSystem).
+ * A flag the user did not supply prints nothing, so the call is free
+ * in the common case; an unknown name aborts (programming error).
  */
-void warnFilterUnused(const HarnessOptions &opts);
-
-/**
- * Stderr note that --trace was given but does not apply. Harnesses
- * whose workload axis is not built from paperSweep's trace support
- * (analytical models, fixed worst-case cells) call this so a supplied
- * trace is never silently ignored.
- */
-void warnTraceUnused(const HarnessOptions &opts);
-
-/**
- * Stderr note that --shards was given but does not apply. Harnesses
- * whose grids never construct a CmpSystem (analytical cost models,
- * hash characteristics) call this so a supplied shard count is never
- * silently ignored.
- */
-void warnShardsUnused(const HarnessOptions &opts);
+void warnFlagUnused(const HarnessOptions &opts,
+                    std::initializer_list<const char *> flags);
 
 } // namespace cdir
 

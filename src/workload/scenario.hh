@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Phased scenario engine: dynamic workloads as a first-class subsystem.
+ *
+ * Every other workload in the repository is *stationary* — a
+ * SyntheticWorkload draws from one fixed sharing profile and a trace
+ * replays a frozen stream — so the behaviours the paper argues matter
+ * most (gradual frame-by-frame eviction, stale-entry accumulation,
+ * invalidation pressure when sharing patterns *change*, §3.2/§5.4) are
+ * never exercised over time. A `Scenario` makes workload dynamism
+ * declarative: a schedule of timed **phases**, each wrapping a
+ * `WorkloadParams` (synthetic knobs or a trace segment), plus
+ * **transition events** applied when a phase begins:
+ *
+ *  - *thread migration*: a logical thread keeps its private footprint
+ *    but starts issuing from another physical core — the classic
+ *    OS-rebalance pattern that strands stale directory entries naming
+ *    the old core and drags the region into a second cache;
+ *  - *core off-/on-lining*: consolidation — an offline physical core
+ *    issues nothing, so its cached blocks decay out of the directory
+ *    only as conflicts evict them;
+ *  - *footprint growth/shrink*: phases simply carry different
+ *    `WorkloadParams` footprints (the region layout is rank-stable, so
+ *    a grown footprint shares its hot head with the previous phase);
+ *  - *bursty producer-consumer sharing*: a per-phase overlay that
+ *    interleaves a write-then-fan-out ring into the base stream.
+ *
+ * `ScenarioWorkload` exposes a scenario as a plain `AccessSource`, so it
+ * composes unchanged with the recorder (record a scenario to a trace),
+ * the trace replay pipeline, the sweep engine's cells, and sharded
+ * execution — every consumer constructs its own instance, so scenario
+ * sweeps stay bit-identical at any `--jobs`/`--shards` value.
+ *
+ * Scenarios come from three places: built-in presets (`scenarioPreset`),
+ * a line-oriented text format (`parseScenarioFile`, same error
+ * conventions as the trace readers: "path:line: message"), or
+ * programmatic construction (see examples/phased_scenario.cc).
+ */
+
+#ifndef CDIR_WORKLOAD_SCENARIO_HH
+#define CDIR_WORKLOAD_SCENARIO_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workload/trace.hh"
+#include "workload/workload.hh"
+
+namespace cdir {
+
+/** One transition applied when a phase begins (in declaration order). */
+struct ScenarioEvent
+{
+    enum class Kind
+    {
+        /** Logical thread @ref from starts issuing from physical core
+         *  @ref to (its private region follows it). */
+        Migrate,
+        /** Physical core @ref from stops issuing accesses. */
+        Offline,
+        /** Physical core @ref from resumes issuing accesses. */
+        Online,
+    };
+
+    Kind kind = Kind::Migrate;
+    CoreId from = 0; //!< Migrate: logical thread; Offline/Online: core
+    CoreId to = 0;   //!< Migrate only: destination physical core
+};
+
+/** Bursty producer-consumer overlay mixed into one phase's stream. */
+struct BurstParams
+{
+    /** Probability an access is a burst access (0 = overlay off). */
+    double fraction = 0.0;
+    /** Ring of shared blocks cycled by the producer. */
+    std::uint64_t ringBlocks = 256;
+    /** Physical core that writes the ring. */
+    CoreId producer = 0;
+};
+
+/** One timed phase of a scenario. */
+struct ScenarioPhase
+{
+    std::string label;
+    /** Absolute access index at which the phase begins; phases must
+     *  tile the schedule exactly (no gaps, no overlap). */
+    std::uint64_t startAccess = 0;
+    /** Accesses the phase emits (>= 1). */
+    std::uint64_t accesses = 0;
+    /** Base stream: synthetic knobs, or a trace segment when
+     *  workload.tracePath is set (a segment shorter than the phase
+     *  simply ends the phase early). */
+    WorkloadParams workload;
+    /** Transitions applied when the phase begins. */
+    std::vector<ScenarioEvent> events;
+    /** Producer-consumer overlay (fraction 0 = off). */
+    BurstParams burst;
+};
+
+/** A schedule of timed phases (see file comment). */
+struct Scenario
+{
+    std::string name = "scenario";
+    /** Physical cores the scenario issues from (core ids < numCores). */
+    std::size_t numCores = 16;
+    /**
+     * Loop the schedule when the last phase ends (the default, so a
+     * scenario behaves like the endless synthetic generators and the
+     * warmup/measure lengths control the run). Each wrap restarts from
+     * a clean slate: identity thread mapping, every core online.
+     */
+    bool loop = true;
+    std::vector<ScenarioPhase> phases;
+
+    /** Accesses in one pass of the schedule. */
+    std::uint64_t totalAccesses() const;
+
+    /**
+     * Phase active at absolute access @p index (looping scenarios wrap
+     * modulo totalAccesses()). Requires a validated scenario. The
+     * tiling assumes every phase emits its declared length: a trace
+     * segment shorter than its phase ends the phase early, shifting
+     * the emitted stream ahead of this schedule (labels and the loop
+     * period then describe the declaration, not the stream — see the
+     * ROADMAP follow-up on segment cursors).
+     */
+    const ScenarioPhase &phaseAt(std::uint64_t index) const;
+
+    /**
+     * Check the schedule: phases tile exactly from access 0 (a phase
+     * that starts early *overlaps* its predecessor; one that starts
+     * late leaves a *gap* — both rejected), every phase is non-empty,
+     * event/burst core ids are < numCores, burst fractions are
+     * probabilities, and at least one core is online in every phase.
+     * @throws std::invalid_argument naming the offending phase.
+     */
+    void validate() const;
+};
+
+/**
+ * A scenario as an AccessSource: emits each phase's base stream (with
+ * the burst overlay mixed in) through the live thread-to-core mapping
+ * and online set. Deterministic: two instances of the same scenario
+ * yield identical streams, so record -> replay through the trace
+ * pipeline is bit-identical to the live run.
+ */
+class ScenarioWorkload : public AccessSource
+{
+  public:
+    /** Validates @p scenario (throws std::invalid_argument). */
+    explicit ScenarioWorkload(const Scenario &scenario);
+
+    MemAccess next() override;
+    bool exhausted() const override;
+
+    /** The schedule driving this source. */
+    const Scenario &scenario() const { return script; }
+
+    /** Label of the phase the next access falls into. */
+    const std::string &currentPhaseLabel() const;
+
+    /** Physical core logical thread @p thread currently issues from. */
+    CoreId coreOf(CoreId thread) const { return threadToCore[thread]; }
+
+    /** True iff physical core @p core is online. */
+    bool coreOnline(CoreId core) const { return online[core]; }
+
+  private:
+    void enterPhase(std::size_t index);
+    void applyEvent(const ScenarioEvent &event);
+    MemAccess burstAccess();
+    /** Advance past finished phases; false when the scenario ends. */
+    bool ensurePhase();
+    /** Buffer the next access (one-record lookahead, like the trace
+     *  readers), or clear hasBuffered at the end of the schedule —
+     *  which is how exhausted() stays exact even when a trace segment
+     *  runs dry mid-phase. */
+    void fill();
+
+    Scenario script;
+    std::size_t phaseIndex = 0;
+    std::uint64_t emittedInPhase = 0;
+    /** Base stream of the current phase (synthetic or trace segment). */
+    std::unique_ptr<AccessSource> phaseSource;
+    /** Burst-mixing RNG, reseeded per phase entry. */
+    Rng burstRng{0};
+    std::uint64_t burstSeq = 0;
+    /** Online physical cores other than the producer, in id order. */
+    std::vector<CoreId> burstConsumers;
+    std::vector<CoreId> threadToCore; //!< logical thread -> physical core
+    std::vector<bool> online;         //!< physical core online?
+    MemAccess buffered{};
+    bool hasBuffered = false;
+    /** Phase the buffered access belongs to (its events are applied). */
+    std::size_t bufferedPhase = 0;
+};
+
+// --- scenario text format ----------------------------------------------------
+
+/**
+ * Parse the line-oriented scenario format:
+ *
+ *     # comment
+ *     scenario <name>
+ *     cores <N>
+ *     phase <label> <accesses>            # starts where the last ended
+ *     phase <label> <start> <accesses>    # explicit start (validated)
+ *       preset <DB2|ocean|...|synthetic>  # base WorkloadParams
+ *       set <knob>=<value>                # override a synthetic knob
+ *       trace <path>                      # trace segment instead
+ *       migrate <thread> <core>
+ *       offline <core>
+ *       online <core>
+ *       burst fraction=<f> ring=<blocks> producer=<core>
+ *
+ * `set` knobs: code-blocks, shared-blocks, private-blocks, instr-frac,
+ * shared-frac, write-frac, code-theta, shared-theta, private-theta,
+ * seed. Directives before the first `phase` configure the scenario;
+ * `loop <on|off>` controls wrapping. Errors (unknown directive/event,
+ * malformed value, core id out of range) throw std::runtime_error
+ * carrying "<name>:<line>: message"; schedule errors (overlapping
+ * phases, gaps) are reported with the same prefix after parsing.
+ */
+Scenario parseScenarioText(const std::string &text,
+                           const std::string &name);
+
+/** Read and parse @p path; throws std::runtime_error (file errors and
+ *  parse errors both carry the path). */
+Scenario parseScenarioFile(const std::string &path);
+
+// --- presets -----------------------------------------------------------------
+
+/** Names of the built-in scenario presets. */
+const std::vector<std::string> &scenarioPresetNames();
+
+/**
+ * Build a preset schedule for a @p num_cores CMP. @p phase_accesses
+ * scales the schedule (each preset phase is one or a few multiples of
+ * it). @throws std::invalid_argument for an unknown name.
+ *
+ *  - "migration-storm": OLTP profile; every phase migrates a rotating
+ *    pair of threads, piling stale entries onto the directory.
+ *  - "phase-oltp-dss": OLTP -> DSS -> OLTP phase change (mix and
+ *    footprint shift, the classic daily batch window).
+ *  - "diurnal": day / dusk / night / morning — footprints shrink, half
+ *    the cores consolidate offline overnight, then everything returns.
+ *  - "producer-ring": light private load with a producer-consumer ring
+ *    burst phase (invalidation pressure), then quiescence.
+ *  - "consolidation": threads progressively migrate onto fewer cores as
+ *    the donors go offline, then the CMP repopulates.
+ *  - "footprint-ramp": shared footprint grows phase over phase, then
+ *    collapses back (directory fill/drain).
+ */
+Scenario scenarioPreset(const std::string &name, std::size_t num_cores,
+                        std::uint64_t phase_accesses = 250'000);
+
+/**
+ * Resolve @p spec — a preset name, else a scenario file path — for a
+ * @p num_cores CMP. A file whose `cores` exceeds @p num_cores is
+ * rejected (mirrors the trace readers' core-id bound).
+ */
+Scenario resolveScenario(const std::string &spec, std::size_t num_cores);
+
+/**
+ * Expand a `--scenario=` argument into individual specs: split on
+ * commas (empty items dropped), with "all" expanding to every preset
+ * name wherever it appears ("all,my.scn" works). The one grammar
+ * shared by the sweep axis (appendScenarioWorkloads) and the
+ * scenario-driven harnesses.
+ */
+std::vector<std::string> splitScenarioSpecs(const std::string &specs);
+
+/**
+ * WorkloadParams naming @p spec as a scenario source: experiment cells
+ * built from it construct a ScenarioWorkload instead of a stationary
+ * generator (see runExperiment). The label/name is the preset name or
+ * the file's stem.
+ */
+WorkloadParams scenarioWorkloadParams(const std::string &spec);
+
+} // namespace cdir
+
+#endif // CDIR_WORKLOAD_SCENARIO_HH

@@ -51,14 +51,66 @@ zigzagDecode(std::uint64_t encoded)
 
 // --- text format -------------------------------------------------------------
 
+namespace {
+
+// Field validators shared by the native and ChampSim line grammars —
+// only the column order (and the external trailing-field check)
+// differs between the two parsers.
+
+/** True for a comment or blank line (skippable without error). */
+bool
+skippableLine(const std::string &line)
+{
+    const std::size_t begin = line.find_first_not_of(" \t");
+    return begin == std::string::npos || line[begin] == '#';
+}
+
+/** Validate the <r|w|i> token; @p why receives the reason on failure. */
+bool
+checkOpKind(const std::string &kind, std::string &why)
+{
+    if (kind.size() == 1 &&
+        (kind[0] == 'r' || kind[0] == 'w' || kind[0] == 'i'))
+        return true;
+    why = "bad operation '" + kind + "' (expected r, w, or i)";
+    return false;
+}
+
+/** Bounds-check a parsed core id against CoreId and @p max_cores. */
+bool
+checkCoreId(std::uint64_t core, std::size_t max_cores, std::string &why)
+{
+    if (core > std::numeric_limits<CoreId>::max()) {
+        why = "core id " + std::to_string(core) + " overflows CoreId";
+        return false;
+    }
+    if (max_cores != 0 && core >= max_cores) {
+        why = "core id " + std::to_string(core) +
+              " out of range (trace limited to " +
+              std::to_string(max_cores) + " cores)";
+        return false;
+    }
+    return true;
+}
+
+/** Whole-token hex block address (bare or 0x-prefixed). */
+bool
+parseHexAddr(const std::string &text, BlockAddr &addr)
+{
+    char *end = nullptr;
+    addr = std::strtoull(text.c_str(), &end, 16);
+    return end != text.c_str() && *end == '\0';
+}
+
+} // namespace
+
 bool
 parseTraceLine(const std::string &line, MemAccess &access,
                std::string *error, std::size_t max_cores)
 {
     if (error)
         error->clear();
-    std::size_t begin = line.find_first_not_of(" \t");
-    if (begin == std::string::npos || line[begin] == '#')
+    if (skippableLine(line))
         return false;
 
     auto fail = [&](const std::string &what) {
@@ -69,23 +121,13 @@ parseTraceLine(const std::string &line, MemAccess &access,
 
     std::istringstream is(line);
     std::uint64_t core = 0;
-    std::string addr_text, kind;
+    std::string addr_text, kind, why;
     if (!(is >> core >> addr_text >> kind))
         return fail("expected '<core> <block-addr-hex> <r|w|i>'");
-    if (kind.size() != 1 ||
-        (kind[0] != 'r' && kind[0] != 'w' && kind[0] != 'i'))
-        return fail("bad operation '" + kind + "' (expected r, w, or i)");
-    if (core > std::numeric_limits<CoreId>::max())
-        return fail("core id " + std::to_string(core) +
-                    " overflows CoreId");
-    if (max_cores != 0 && core >= max_cores)
-        return fail("core id " + std::to_string(core) +
-                    " out of range (trace limited to " +
-                    std::to_string(max_cores) + " cores)");
-
-    char *end = nullptr;
-    const BlockAddr addr = std::strtoull(addr_text.c_str(), &end, 16);
-    if (end == addr_text.c_str() || *end != '\0')
+    if (!checkOpKind(kind, why) || !checkCoreId(core, max_cores, why))
+        return fail(why);
+    BlockAddr addr = 0;
+    if (!parseHexAddr(addr_text, addr))
         return fail("bad block address '" + addr_text + "'");
 
     access.core = static_cast<CoreId>(core);
@@ -105,17 +147,55 @@ formatTraceLine(const MemAccess &access)
     return buf;
 }
 
-TextTraceReader::TextTraceReader(const std::string &path,
+bool
+parseChampSimLine(const std::string &line, MemAccess &access,
+                  std::string *error, std::size_t max_cores)
+{
+    if (error)
+        error->clear();
+    if (skippableLine(line))
+        return false;
+
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+
+    std::istringstream is(line);
+    std::string addr_text, kind, extra, why;
+    std::uint64_t core = 0;
+    if (!(is >> addr_text >> core >> kind))
+        return fail("expected '<block-addr-hex> <core> <r|w|i>'");
+    // Strict import contract: an unreduced external capture (extra
+    // latency/PC columns) must abort, never be silently truncated.
+    if (is >> extra && extra[0] != '#')
+        return fail("trailing field '" + extra +
+                    "' (reduce the capture to "
+                    "'<block-addr-hex> <core> <r|w|i>')");
+    if (!checkOpKind(kind, why) || !checkCoreId(core, max_cores, why))
+        return fail(why);
+    BlockAddr addr = 0;
+    if (!parseHexAddr(addr_text, addr))
+        return fail("bad block address '" + addr_text + "'");
+
+    access.core = static_cast<CoreId>(core);
+    access.addr = addr;
+    access.write = kind[0] == 'w';
+    access.instruction = kind[0] == 'i';
+    return true;
+}
+
+LineTraceReader::LineTraceReader(const std::string &path,
                                  TraceReadOptions options)
-    : file(path), opts(options), in(path)
+    : opts(options), file(path), in(path)
 {
     if (!in.is_open())
         throw std::runtime_error("cannot open trace: " + path);
-    fill();
 }
 
 void
-TextTraceReader::recordError(std::uint64_t line_number,
+LineTraceReader::recordError(std::uint64_t line_number,
                              const std::string &what)
 {
     ++malformed;
@@ -125,13 +205,13 @@ TextTraceReader::recordError(std::uint64_t line_number,
 }
 
 void
-TextTraceReader::fill()
+LineTraceReader::fill()
 {
     hasBuffered = false;
     std::string line, parse_error;
     while (std::getline(in, line)) {
         ++lineNumber;
-        if (parseTraceLine(line, buffered, &parse_error, opts.maxCores)) {
+        if (parseLine(line, buffered, parse_error)) {
             hasBuffered = true;
             return;
         }
@@ -141,7 +221,7 @@ TextTraceReader::fill()
 }
 
 MemAccess
-TextTraceReader::next()
+LineTraceReader::next()
 {
     if (!hasBuffered)
         throw std::runtime_error("trace exhausted: " + file);
@@ -149,6 +229,34 @@ TextTraceReader::next()
     ++count;
     fill();
     return result;
+}
+
+TextTraceReader::TextTraceReader(const std::string &path,
+                                 TraceReadOptions options)
+    : LineTraceReader(path, options)
+{
+    prime();
+}
+
+bool
+TextTraceReader::parseLine(const std::string &line, MemAccess &access,
+                           std::string &error) const
+{
+    return parseTraceLine(line, access, &error, opts.maxCores);
+}
+
+ChampSimTraceReader::ChampSimTraceReader(const std::string &path,
+                                         TraceReadOptions options)
+    : LineTraceReader(path, options)
+{
+    prime();
+}
+
+bool
+ChampSimTraceReader::parseLine(const std::string &line, MemAccess &access,
+                               std::string &error) const
+{
+    return parseChampSimLine(line, access, &error, opts.maxCores);
 }
 
 TextTraceWriter::TextTraceWriter(const std::string &path)

@@ -117,14 +117,15 @@ struct TraceReadOptions
     bool strict = false;
 };
 
-/** Streaming reader for the text trace format (see file comment). */
-class TextTraceReader : public AccessSource
+/**
+ * Shared machinery of the line-oriented readers: buffered one-record
+ * lookahead, comment/blank skipping, and "path:line: message" error
+ * reporting with strict/tolerant modes. Derived classes supply only the
+ * line grammar (native text, ChampSim-style external text).
+ */
+class LineTraceReader : public AccessSource
 {
   public:
-    /** Open @p path; throws std::runtime_error if unreadable. */
-    explicit TextTraceReader(const std::string &path,
-                             TraceReadOptions options = {});
-
     MemAccess next() override;
     bool exhausted() const override { return !hasBuffered; }
 
@@ -137,12 +138,28 @@ class TextTraceReader : public AccessSource
     /** "path:line: message" of the most recent parse error ("" if none). */
     const std::string &lastError() const { return error; }
 
+  protected:
+    /** Open @p path; throws std::runtime_error if unreadable. */
+    LineTraceReader(const std::string &path, TraceReadOptions options);
+
+    /** Buffer the first record; call once the derived grammar is
+     *  constructed (a virtual cannot run from the base constructor). */
+    void prime() { fill(); }
+
+    TraceReadOptions opts;
+
   private:
+    /**
+     * Parse one line. @return false for a comment/blank line (leave
+     * @p error empty) or a malformed record (@p error set).
+     */
+    virtual bool parseLine(const std::string &line, MemAccess &access,
+                           std::string &error) const = 0;
+
     void fill();
     void recordError(std::uint64_t line_number, const std::string &what);
 
     std::string file;
-    TraceReadOptions opts;
     std::ifstream in;
     MemAccess buffered{};
     bool hasBuffered = false;
@@ -150,6 +167,43 @@ class TextTraceReader : public AccessSource
     std::uint64_t count = 0;
     std::uint64_t malformed = 0;
     std::string error;
+};
+
+/** Streaming reader for the text trace format (see file comment). */
+class TextTraceReader : public LineTraceReader
+{
+  public:
+    /** Open @p path; throws std::runtime_error if unreadable. */
+    explicit TextTraceReader(const std::string &path,
+                             TraceReadOptions options = {});
+
+  private:
+    bool parseLine(const std::string &line, MemAccess &access,
+                   std::string &error) const override;
+};
+
+/**
+ * Reader for ChampSim-style external text traces: one access per line,
+ *
+ *     <block-addr-hex> <core> <r|w|i>
+ *
+ * (the address-first column order external tools emit; `0x` prefixes
+ * are accepted, `#` comments and blank lines are skipped). The
+ * conversion front-end of `trace_tool convert --from=champsim` — reduce
+ * any gem5/champsim/pintool capture to these lines and convert it into
+ * the compact CDTR binary format. Malformed lines carry
+ * "path:line: message" like every other reader.
+ */
+class ChampSimTraceReader : public LineTraceReader
+{
+  public:
+    /** Open @p path; throws std::runtime_error if unreadable. */
+    explicit ChampSimTraceReader(const std::string &path,
+                                 TraceReadOptions options = {});
+
+  private:
+    bool parseLine(const std::string &line, MemAccess &access,
+                   std::string &error) const override;
 };
 
 /** Writer for the text trace format. */
@@ -277,6 +331,16 @@ bool parseTraceLine(const std::string &line, MemAccess &access,
 
 /** Format one record as a text trace line (no newline). */
 std::string formatTraceLine(const MemAccess &access);
+
+/**
+ * Parse one ChampSim-style external trace line
+ * (`<block-addr-hex> <core> <r|w|i>`) into @p access — the same
+ * contract as parseTraceLine, with the external column order and an
+ * optional `0x` address prefix.
+ */
+bool parseChampSimLine(const std::string &line, MemAccess &access,
+                       std::string *error = nullptr,
+                       std::size_t max_cores = 0);
 
 /** True iff @p path starts with the binary trace magic. */
 bool traceFileIsBinary(const std::string &path);

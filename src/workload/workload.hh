@@ -63,6 +63,15 @@ struct WorkloadParams
      */
     std::string tracePath;
 
+    /**
+     * When non-empty, this workload is a phased scenario: a preset name
+     * or scenario file resolved against the cell's core count, driven
+     * through a per-cell ScenarioWorkload (workload/scenario.hh). The
+     * synthetic knobs below are ignored; mutually exclusive with
+     * @ref tracePath. See scenarioWorkloadParams().
+     */
+    std::string scenarioSpec;
+
     /** Shared instruction footprint in blocks (read-only). */
     std::size_t codeBlocks = 4096;
     /** Shared data footprint in blocks. */

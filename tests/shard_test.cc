@@ -315,6 +315,67 @@ TEST(ShardEngine, ShardCountClampsToSliceCount)
     EXPECT_EQ(system.shards(), 1u);
 }
 
+// --- shard-aware directoryCoversCaches ---------------------------------------
+
+TEST(ShardEngine, CoverageCheckAgreesAtEveryShardCount)
+{
+    // The invariant walk fans out across the shard lanes; the verdict
+    // must match the serial check for every organization (including
+    // the imprecise Tagless filters, whose probe may over-approximate
+    // sharers but must still cover every resident block).
+    for (const std::string &org :
+         DirectoryRegistry::instance().names()) {
+        const CmpConfig cfg =
+            goldenReplayConfig(org, CmpConfigKind::SharedL2);
+
+        CmpSystem serial(cfg);
+        SyntheticWorkload serial_gen(stressWorkload(17));
+        serial.run(serial_gen, 12000);
+        const bool expected = serial.directoryCoversCaches();
+
+        CmpSystem sharded(cfg);
+        sharded.setShards(3);
+        SyntheticWorkload gen(stressWorkload(17));
+        sharded.run(gen, 12000);
+        EXPECT_EQ(sharded.directoryCoversCaches(), expected) << org;
+        EXPECT_TRUE(expected) << org;
+    }
+}
+
+TEST(ShardEngine, MisSizedMirroringConfigurationIsRejected)
+{
+    // Regression: a very large system whose slice count exceeds the
+    // private cache's sets used to slip past a release-build assert and
+    // construct cache-mirroring slices covering *zero* sets. The
+    // geometry is now rejected at construction.
+    for (const char *org : {"DuplicateTag", "Tagless"}) {
+        CmpConfig cfg;
+        cfg.kind = CmpConfigKind::SharedL2;
+        cfg.numCores = 64;
+        cfg.numSlices = 64;                  // > the 32 cache sets below
+        cfg.privateCache = CacheConfig{32, 2};
+        cfg.directory.organization = org;
+        cfg.directory.trackedCacheAssoc = cfg.privateCache.assoc;
+        EXPECT_THROW(CmpSystem{cfg}, std::invalid_argument) << org;
+    }
+    // Non-mirroring organizations are not bound by the cache geometry.
+    CmpConfig ok;
+    ok.kind = CmpConfigKind::SharedL2;
+    ok.numCores = 64;
+    ok.numSlices = 64;
+    ok.privateCache = CacheConfig{32, 2};
+    ok.directory.organization = "Cuckoo";
+    ok.directory.sets = 16;
+    EXPECT_NO_THROW(CmpSystem{ok});
+}
+
+TEST(ShardEngine, NonPowerOfTwoSliceCountIsRejected)
+{
+    CmpConfig cfg = goldenReplayConfig("Cuckoo", CmpConfigKind::SharedL2);
+    cfg.numSlices = 3;
+    EXPECT_THROW(CmpSystem{cfg}, std::invalid_argument);
+}
+
 TEST(ShardEngine, ReShardingBetweenRunsKeepsDeterminism)
 {
     const CmpConfig cfg =

@@ -741,5 +741,125 @@ TEST(SyntheticSourceTest, WrapsGenerator)
     EXPECT_LT(a.core, 2u);
 }
 
+// --- ChampSim-style external text front-end ----------------------------------
+
+TEST(ChampSimFormat, ParsesAddressFirstLines)
+{
+    MemAccess parsed;
+    ASSERT_TRUE(parseChampSimLine("1a2b 3 w", parsed));
+    EXPECT_EQ(parsed.addr, 0x1a2bull);
+    EXPECT_EQ(parsed.core, 3u);
+    EXPECT_TRUE(parsed.write);
+    EXPECT_FALSE(parsed.instruction);
+
+    // 0x prefixes (the common external form) are accepted.
+    ASSERT_TRUE(parseChampSimLine("0xdeadbeef 0 i", parsed));
+    EXPECT_EQ(parsed.addr, 0xdeadbeefull);
+    EXPECT_TRUE(parsed.instruction);
+
+    // Comments and blanks skip without error.
+    std::string error = "sentinel";
+    EXPECT_FALSE(parseChampSimLine("# a comment", parsed, &error));
+    EXPECT_TRUE(error.empty());
+    EXPECT_FALSE(parseChampSimLine("   ", parsed, &error));
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(ChampSimFormat, RejectsMalformedLines)
+{
+    MemAccess parsed;
+    std::string error;
+    EXPECT_FALSE(parseChampSimLine("1a2b 3", parsed, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseChampSimLine("1a2b 3 x", parsed, &error));
+    EXPECT_NE(error.find("bad operation"), std::string::npos);
+    EXPECT_FALSE(parseChampSimLine("zzz 3 r", parsed, &error));
+    EXPECT_NE(error.find("bad block address"), std::string::npos);
+    EXPECT_FALSE(parseChampSimLine("10 6 r", parsed, &error, 4));
+    EXPECT_NE(error.find("out of range"), std::string::npos);
+    // Strict import: an unreduced capture with extra columns (latency,
+    // PC) must error, never be silently truncated to the first three.
+    EXPECT_FALSE(parseChampSimLine("10 2 r 12345", parsed, &error));
+    EXPECT_NE(error.find("trailing field"), std::string::npos);
+    // ...but an end-of-line comment is fine.
+    EXPECT_TRUE(parseChampSimLine("10 2 r # warmup", parsed, &error));
+}
+
+TEST(ChampSimReader, ReadsExternalTracesWithLineNumberedErrors)
+{
+    const std::string path = tempPath("cdir_champsim.txt");
+    {
+        std::ofstream out(path);
+        out << "# external capture\n"
+               "10 0 r\n"
+               "garbage line\n"
+               "0x20 1 w\n"
+               "30 2 i\n";
+    }
+
+    // Tolerant: the malformed line is skipped, counted, and its error
+    // carries the line number.
+    ChampSimTraceReader tolerant(path);
+    std::vector<MemAccess> records;
+    while (!tolerant.exhausted())
+        records.push_back(tolerant.next());
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].addr, 0x10ull);
+    EXPECT_EQ(records[1].core, 1u);
+    EXPECT_TRUE(records[2].instruction);
+    EXPECT_EQ(tolerant.malformedRecords(), 1u);
+    EXPECT_NE(tolerant.lastError().find(":3:"), std::string::npos)
+        << tolerant.lastError();
+
+    // Strict (what trace_tool convert uses): the malformed line aborts
+    // with its line number.
+    try {
+        ChampSimTraceReader strict(path, TraceReadOptions{0, true});
+        while (!strict.exhausted())
+            strict.next();
+        FAIL() << "strict reader accepted a malformed line";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(":3:"), std::string::npos)
+            << e.what();
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ChampSimReader, ConvertsLosslesslyIntoNativeFormats)
+{
+    const std::string in_path = tempPath("cdir_champsim_in.txt");
+    const std::vector<MemAccess> stream = sampleStream(500);
+    {
+        std::ofstream out(in_path);
+        for (const MemAccess &a : stream) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%llx %u %c",
+                          static_cast<unsigned long long>(a.addr), a.core,
+                          a.instruction ? 'i' : (a.write ? 'w' : 'r'));
+            out << buf << '\n';
+        }
+    }
+
+    // The trace_tool convert pipeline: ChampSim text in, CDTR binary
+    // out, record for record.
+    const std::string out_path = tempPath("cdir_champsim_out.ctr");
+    {
+        ChampSimTraceReader reader(in_path, TraceReadOptions{0, true});
+        BinaryTraceWriter writer(out_path);
+        while (!reader.exhausted())
+            writer.write(reader.next());
+        writer.close();
+        EXPECT_EQ(writer.recordsWritten(), stream.size());
+    }
+    BinaryTraceReader replay(out_path);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        ASSERT_FALSE(replay.exhausted());
+        expectSameAccess(stream[i], replay.next(), i);
+    }
+    EXPECT_TRUE(replay.exhausted());
+    std::filesystem::remove(in_path);
+    std::filesystem::remove(out_path);
+}
+
 } // namespace
 } // namespace cdir

@@ -10,7 +10,9 @@
  *                                                report directory stats
  *   trace_tool info <trace>                      header + record census
  *   trace_tool convert <in> <out> [--text]      re-encode text <->
- *                                                binary losslessly
+ *              [--from=champsim]                 binary losslessly, or
+ *                                                import external
+ *                                                address-first text
  *
  * `record` writes the compact binary format by default (--text for the
  * line format); `replay` reproduces runExperiment's warmup-then-measure
@@ -62,9 +64,14 @@ usage(const char *error = nullptr)
         "      lanes (bit-identical results at any count).\n"
         "  trace_tool info <trace>\n"
         "      format, record count, per-op and per-core census.\n"
-        "  trace_tool convert <in> <out> [--text]\n"
+        "  trace_tool convert <in> <out> [--text] [--from=champsim]\n"
+        "             [--cores=N]\n"
         "      lossless re-encode; output is binary unless --text.\n"
-        "      Strict: a malformed input record aborts the conversion.\n");
+        "      --from=champsim imports ChampSim-style external text\n"
+        "      (one '<block-addr-hex> <core> <r|w|i>' per line; 0x\n"
+        "      prefixes accepted); --cores=N rejects out-of-range core\n"
+        "      ids at conversion time. Strict: a malformed input record\n"
+        "      aborts the conversion with its line number.\n");
     return 2;
 }
 
@@ -94,8 +101,10 @@ struct CommonFlags
     std::uint64_t privateBlocks = 0;
     bool privateL2 = false;
     bool text = false;
+    std::string from;                 // convert input dialect ("" = native)
     std::string organization = "Cuckoo";
     ReportFormat format = ReportFormat::Table;
+    bool coresGiven = false;          // --cores= was on the command line
 };
 
 /**
@@ -117,6 +126,7 @@ parseFlags(int argc, char **argv, int first,
             ok = parseU64(v, flags.accesses) && flags.accesses != 0;
         } else if ((v = cliFlagValue(arg, name = "cores"))) {
             ok = parseU64(v, flags.cores) && flags.cores != 0;
+            flags.coresGiven = true;
         } else if ((v = cliFlagValue(arg, name = "seed"))) {
             ok = parseU64(v, flags.seed);
         } else if ((v = cliFlagValue(arg, name = "warmup"))) {
@@ -139,6 +149,9 @@ parseFlags(int argc, char **argv, int first,
                  flags.privateBlocks != 0;
         } else if ((v = cliFlagValue(arg, name = "org"))) {
             flags.organization = v;
+        } else if ((v = cliFlagValue(arg, name = "from"))) {
+            flags.from = v;
+            ok = flags.from == "champsim" || flags.from == "native";
         } else if ((v = cliFlagValue(arg, name = "format"))) {
             if (std::strcmp(v, "table") == 0)
                 flags.format = ReportFormat::Table;
@@ -380,13 +393,19 @@ cmdConvert(int argc, char **argv)
     if (argc < 4)
         return usage("convert needs <in> and <out>");
     CommonFlags flags;
-    if (!parseFlags(argc, argv, 4, {"text"}, flags))
+    if (!parseFlags(argc, argv, 4, {"text", "from", "cores"}, flags))
         return usage();
 
     // Strict: a malformed input record aborts the conversion instead
-    // of being silently dropped from a "lossless" re-encode.
-    const std::unique_ptr<AccessSource> reader =
-        makeTraceReader(argv[2], TraceReadOptions{0, /*strict=*/true});
+    // of being silently dropped from a "lossless" re-encode. Errors
+    // carry the line number (text dialects) / byte offset (binary).
+    const TraceReadOptions read_opts{
+        flags.coresGiven ? flags.cores : 0, /*strict=*/true};
+    std::unique_ptr<AccessSource> reader;
+    if (flags.from == "champsim")
+        reader = std::make_unique<ChampSimTraceReader>(argv[2], read_opts);
+    else
+        reader = makeTraceReader(argv[2], read_opts);
     const std::unique_ptr<TraceSink> sink =
         makeTraceSink(argv[3], !flags.text);
     std::uint64_t records = 0;
