@@ -91,7 +91,8 @@ main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     const std::uint64_t ops = flagU64(argc, argv, "ops", 300000);
-    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
+    warnFlagUnused(cli,
+                   {"filter", "trace", "scenario", "shards", "cost-model"});
     const SweepRunner runner(cli.sweep());
 
     // One cell per (hash kind, occupancy).

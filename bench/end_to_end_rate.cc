@@ -1,0 +1,132 @@
+/**
+ * @file
+ * End-to-end simulation throughput: accesses/second of the full
+ * warmup-then-measure pipeline, emitted as JSON for the perf-trajectory
+ * record (tools/perf_trajectory.sh -> BENCH_<n>.json).
+ *
+ * The google-benchmark microbenchmarks (micro_directory_ops) time
+ * directory operations in isolation; this binary times what a figure
+ * harness actually pays — stage/flush batching, the apply phase, cache
+ * maintenance, statistics — so a regression anywhere in the pipeline
+ * shows up even when every micro number is flat. Three runs:
+ *
+ *  - Cuckoo, untimed: the repository's headline path;
+ *  - Sparse, untimed: a conventional-organization baseline;
+ *  - Cuckoo + mesh cost model: the same run timed, so the trajectory
+ *    tracks the cost-model overhead (expected small: one virtual call
+ *    and a histogram add per directory outcome, only when enabled).
+ *
+ * Wall-clock throughput is machine-dependent by nature; the trajectory
+ * compares like with like across commits on the same runner. Results
+ * (counters, histograms) remain bit-identical regardless — timing
+ * never feeds back into the simulation.
+ *
+ *   $ ./end_to_end_rate                 # JSON on stdout
+ *   $ ./end_to_end_rate --accesses=500000 --shards=2
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim_common.hh"
+
+using namespace cdir;
+using namespace cdir::bench;
+
+namespace {
+
+struct RateRun
+{
+    const char *name;
+    const char *organization;
+    const char *costModel; //!< "" = untimed
+};
+
+constexpr RateRun kRuns[] = {
+    {"Cuckoo/untimed", "Cuckoo", ""},
+    {"Sparse/untimed", "Sparse", ""},
+    {"Cuckoo/mesh", "Cuckoo", "mesh"},
+};
+
+DirectoryParams
+organizationParams(const std::string &name)
+{
+    if (name == "Cuckoo")
+        return cuckooSliceParams(4, 512);
+    if (name == "Sparse")
+        return sparseSliceParams(8, 512);
+    DirectoryParams params;
+    params.organization = name;
+    return params;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const HarnessOptions cli = parseHarnessOptions(argc, argv);
+    warnFlagUnused(cli, {"filter", "trace", "scenario", "cost-model"});
+
+    std::uint64_t accesses = 1'000'000;
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = cliFlagValue(argv[i], "accesses")) {
+            char *end = nullptr;
+            accesses = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0' || accesses == 0) {
+                std::fprintf(stderr,
+                             "end_to_end_rate: bad --accesses value "
+                             "'%s'\n",
+                             v);
+                return 2;
+            }
+        }
+    }
+    accesses *= cli.scale;
+
+    // Single experiment at a time (wall-clock timing would be
+    // meaningless with concurrent cells), so the full shard budget is
+    // available to it.
+    const unsigned shards = clampedShards(1, cli.shardsRequested,
+                                          ThreadPool::hardwareWorkers());
+
+    std::printf("{\"benchmark\": \"end_to_end_rate\", "
+                "\"accesses\": %llu, \"shards\": %u, \"runs\": [",
+                static_cast<unsigned long long>(accesses), shards);
+    bool first = true;
+    for (const RateRun &run : kRuns) {
+        const CmpConfig config = paperConfigWith(
+            CmpConfigKind::SharedL2, organizationParams(run.organization));
+        WorkloadParams workload =
+            paperWorkloadParams(PaperWorkload::OltpDb2, false,
+                                config.numCores);
+
+        ExperimentOptions opts;
+        opts.warmupAccesses = accesses / 4;
+        opts.measureAccesses = accesses;
+        opts.occupancySampleEvery = 10'000;
+        opts.shards = shards;
+        opts.costModel = run.costModel;
+
+        const auto start = std::chrono::steady_clock::now();
+        const ExperimentResult result =
+            runExperiment(config, workload, opts);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+
+        const double total =
+            double(opts.warmupAccesses) + double(result.system.accesses);
+        const double rate =
+            elapsed.count() > 0.0 ? total / elapsed.count() : 0.0;
+        std::printf("%s\n  {\"name\": \"%s\", \"seconds\": %.6f, "
+                    "\"accesses_per_sec\": %.1f}",
+                    first ? "" : ",", run.name, elapsed.count(), rate);
+        first = false;
+    }
+    std::printf("\n]}\n");
+    return 0;
+}

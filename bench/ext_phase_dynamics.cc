@@ -18,11 +18,18 @@
  *   $ ./ext_phase_dynamics                       # 3 default scenarios
  *   $ ./ext_phase_dynamics --scenario=all --format=csv
  *   $ ./ext_phase_dynamics --scenario=diurnal --interval=25000
+ *   $ ./ext_phase_dynamics --series-json=series.json --cost-model=mesh
  *
  * Shared flags apply (--jobs/--shards/--format/--filter/--scale/
- * --warmup/--measure); --interval=N sets the telemetry window (in
- * accesses). Time series are bit-identical at any --jobs/--shards
- * value (pinned by tests/scenario_test.cc and the CI scenario smoke).
+ * --warmup/--measure/--cost-model); --interval=N sets the telemetry
+ * window (in accesses); --series-json=PATH additionally exports the
+ * raw per-window series as structured JSON ('-' = stdout), for
+ * plotting pipelines that should not scrape the report tables. Besides
+ * the time series, each scenario gets a per-phase aggregate table —
+ * the windows folded along the schedule (sim/interval_export.hh) with
+ * exact integer sums. Everything is bit-identical at any
+ * --jobs/--shards value (pinned by tests/scenario_test.cc and the CI
+ * scenario smoke).
  */
 
 #include <algorithm>
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "directory/registry.hh"
+#include "sim/interval_export.hh"
 #include "sim_common.hh"
 #include "workload/scenario.hh"
 
@@ -105,6 +113,7 @@ main(int argc, char **argv)
     warnFlagUnused(cli, {"trace"});
 
     std::uint64_t interval = 50'000;
+    std::string series_json;
     for (int i = 1; i < argc; ++i) {
         if (const char *v = cliFlagValue(argv[i], "interval")) {
             char *end = nullptr;
@@ -116,6 +125,13 @@ main(int argc, char **argv)
                              v);
                 return 2;
             }
+        } else if (const char *v = cliFlagValue(argv[i], "series-json")) {
+            if (*v == '\0') {
+                std::fprintf(stderr, "ext_phase_dynamics: --series-json "
+                                     "needs a path (or '-')\n");
+                return 2;
+            }
+            series_json = v;
         }
     }
 
@@ -188,6 +204,71 @@ main(int argc, char **argv)
                    [](const IntervalRecord &rec) {
                        return rec.invalidationRate();
                    });
+
+        // Per-phase aggregates: the series folded along the schedule —
+        // exact integer sums per phase occurrence, one block per
+        // organization. Latency columns appear when --cost-model timed
+        // the run.
+        bool timed = false;
+        for (const SweepRecord &rec : results[s])
+            timed = timed || !rec.result.system.latency.empty();
+        std::vector<std::string> columns{
+            "organization", "phase",      "start",
+            "windows",      "accesses",   "misses",
+            "insertions",   "inval rate", "occupancy"};
+        if (timed) {
+            columns.push_back("lat p50");
+            columns.push_back("lat p99");
+        }
+        ReportTable aggregates("per-phase aggregates: " + scenario.name,
+                               std::move(columns));
+        for (const SweepRecord &rec : results[s]) {
+            const std::vector<PhaseAggregate> phases = aggregateByPhase(
+                scenario, opts.warmupAccesses, rec.result.intervals);
+            for (const PhaseAggregate &agg : phases) {
+                std::vector<ReportCell> row{
+                    cellText(rec.configLabel),
+                    cellText(agg.label),
+                    cellNum(double(agg.firstAccess), "%.0f"),
+                    cellNum(double(agg.windows), "%.0f"),
+                    cellNum(double(agg.total.accesses), "%.0f"),
+                    cellNum(double(agg.total.cacheMisses), "%.0f"),
+                    cellNum(double(agg.total.insertions), "%.0f"),
+                    cellNum(agg.total.invalidationRate(), "%.4f"),
+                    cellNum(agg.total.occupancy(), "%.4f")};
+                if (timed) {
+                    row.push_back(cellNum(
+                        double(agg.total.latency.percentile(500)),
+                        "%.0f"));
+                    row.push_back(cellNum(
+                        double(agg.total.latency.percentile(990)),
+                        "%.0f"));
+                }
+                aggregates.addRow(std::move(row));
+            }
+        }
+        report.table(aggregates);
+    }
+
+    if (!series_json.empty()) {
+        // Raw per-window export for plotting pipelines: one group per
+        // scenario, one labelled series per organization.
+        std::vector<IntervalSeriesGroup> groups;
+        for (std::size_t s = 0; s < specs.size(); ++s) {
+            IntervalSeriesGroup group;
+            group.name = resolved[s].name;
+            group.firstAccess = opts.warmupAccesses;
+            for (const SweepRecord &rec : results[s])
+                group.series.push_back(LabelledIntervalSeries{
+                    rec.configLabel, &rec.result.intervals});
+            groups.push_back(std::move(group));
+        }
+        try {
+            writeIntervalSeriesJsonFile(series_json, groups);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "--series-json: %s\n", e.what());
+            return 1;
+        }
     }
     return 0;
 }

@@ -66,7 +66,8 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
+    warnFlagUnused(cli,
+                   {"filter", "trace", "scenario", "shards", "cost-model"});
     const SweepRunner runner(cli.sweep());
 
     // One grid cell per (organization, core count).

@@ -83,7 +83,8 @@ main(int argc, char **argv)
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     const std::uint64_t values =
         bench::flagU64(argc, argv, "values", 400000);
-    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
+    warnFlagUnused(cli,
+                   {"filter", "trace", "scenario", "shards", "cost-model"});
     const SweepRunner runner(cli.sweep());
 
     const auto series = runner.map<AritySeries>(

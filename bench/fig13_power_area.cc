@@ -98,7 +98,8 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
+    warnFlagUnused(cli,
+                   {"filter", "trace", "scenario", "shards", "cost-model"});
     const SweepRunner runner(cli.sweep());
 
     // Grid: system-major, then organization, then core count.

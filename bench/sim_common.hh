@@ -55,14 +55,18 @@ paperConfigWith(CmpConfigKind kind, const DirectoryParams &dir)
  * lengths (respecting the CLI --scale/--warmup/--measure). The axis is
  * the full Table 2 suite — or, with --trace=<file|dir>, one point per
  * recorded trace file replayed through the grid; or, with
- * --scenario=<name|file>[,...], one point per phased scenario. The
- * caller appends its config axis points.
+ * --scenario=<name|file>[,...], one point per phased scenario. With
+ * --cost-model= the options axis carries one point per selected model
+ * (timing never changes the behavioural counters, so figure pivots
+ * stay well-defined); untimed by default. The caller appends its
+ * config axis points.
  */
 inline SweepSpec
 paperSweep(CmpConfigKind kind, const HarnessOptions &cli)
 {
     SweepSpec spec;
-    spec.options("", cli.applyOverrides(optionsFor(kind, cli.scale)));
+    appendCostModelOptions(
+        spec, "", cli.applyOverrides(optionsFor(kind, cli.scale)), cli);
     if (!cli.trace.empty() && !cli.scenario.empty()) {
         std::fprintf(stderr, "--trace and --scenario are mutually "
                              "exclusive workload axes\n");

@@ -92,7 +92,8 @@ main(int argc, char **argv)
         {"Duplicate-Tag", OrgModel::DuplicateTag},
     };
 
-    warnFlagUnused(cli, {"filter", "trace", "scenario", "shards"});
+    warnFlagUnused(cli,
+                   {"filter", "trace", "scenario", "shards", "cost-model"});
     const SweepRunner runner(cli.sweep());
     const auto costs = runner.map<DirCost>(
         std::size(candidates), [&](std::size_t i) {

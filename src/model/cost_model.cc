@@ -1,0 +1,176 @@
+#include "model/cost_model.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/cmp_system.hh"
+
+namespace cdir {
+
+// --- FixedLatencyCostModel ---------------------------------------------------
+
+FixedLatencyCostModel::FixedLatencyCostModel(CostModelParams params)
+    : p(params)
+{
+}
+
+const std::string &
+FixedLatencyCostModel::name() const
+{
+    static const std::string n = "fixed";
+    return n;
+}
+
+std::uint64_t
+FixedLatencyCostModel::accessLatency(const DirRequest &,
+                                     const DirAccessOutcome &outcome,
+                                     const DirAccessContext &,
+                                     std::size_t) const
+{
+    std::uint64_t latency = p.directoryCycles;
+    if (outcome.attempts > 1)
+        latency += (outcome.attempts - 1) * p.relocationCycles;
+    latency += outcome.hit ? p.forwardCycles : p.offChipCycles;
+    if (outcome.hadSharerInvalidations)
+        latency += p.invalidationCycles;
+    latency += outcome.evictionCount * p.invalidationCycles;
+    return latency;
+}
+
+// --- MeshCostModel -----------------------------------------------------------
+
+namespace {
+
+/** Smallest w with w * w >= tiles (integer, overflow-safe for any
+ *  realistic core count). */
+std::size_t
+meshSide(std::size_t tiles)
+{
+    std::size_t w = 1;
+    while (w * w < tiles)
+        ++w;
+    return w;
+}
+
+} // namespace
+
+MeshCostModel::MeshCostModel(const CmpConfig &config, CostModelParams params)
+    : p(params), tiles(config.numCores), width(meshSide(config.numCores)),
+      cachesPerCore(config.cachesPerCore())
+{
+    if (tiles == 0)
+        throw std::invalid_argument(
+            "MeshCostModel: configuration has zero cores");
+}
+
+const std::string &
+MeshCostModel::name() const
+{
+    static const std::string n = "mesh";
+    return n;
+}
+
+std::uint64_t
+MeshCostModel::hops(std::size_t a, std::size_t b) const
+{
+    const std::size_t ax = a % width, ay = a / width;
+    const std::size_t bx = b % width, by = b / width;
+    const std::size_t dx = ax > bx ? ax - bx : bx - ax;
+    const std::size_t dy = ay > by ? ay - by : by - ay;
+    return dx + dy;
+}
+
+std::uint64_t
+MeshCostModel::farthestTarget(const DynamicBitset &targets,
+                              std::size_t home, CacheId requester,
+                              bool &any) const
+{
+    std::uint64_t farthest = 0;
+    any = false;
+    for (std::size_t c = targets.findFirst(); c < targets.size();
+         c = targets.findNext(c)) {
+        if (c == requester)
+            continue;
+        any = true;
+        farthest = std::max(
+            farthest, hops(home, tileOfCache(static_cast<CacheId>(c))));
+    }
+    return farthest;
+}
+
+std::uint64_t
+MeshCostModel::accessLatency(const DirRequest &request,
+                             const DirAccessOutcome &outcome,
+                             const DirAccessContext &ctx,
+                             std::size_t slice) const
+{
+    const std::size_t home = tileOfSlice(slice);
+    const std::size_t requester = tileOfCache(request.cache);
+
+    // Request to the home slice, probe, and response back — the mesh
+    // distance is paid in both directions.
+    std::uint64_t latency =
+        p.directoryCycles + 2 * p.hopCycles * hops(requester, home);
+    if (outcome.attempts > 1)
+        latency += (outcome.attempts - 1) * p.relocationCycles;
+    latency += outcome.hit ? p.forwardCycles : p.offChipCycles;
+
+    // Write hit: the home multicasts invalidations; the critical path
+    // is the round trip to the *farthest* invalidated sharer.
+    if (outcome.hadSharerInvalidations) {
+        bool any = false;
+        const std::uint64_t farthest = farthestTarget(
+            ctx.sharerInvalidations(outcome), home, request.cache, any);
+        if (any)
+            latency += p.invalidationCycles + 2 * p.hopCycles * farthest;
+    }
+
+    // Forced evictions: each displaced entry's sharers must be
+    // invalidated before the frame is reusable by the insertion. The
+    // requester is a legitimate target here (the evicted tag is a
+    // *different* block it may hold), matching the apply phase, which
+    // only skips the requester for sharer invalidations.
+    constexpr CacheId no_requester = ~CacheId{0};
+    for (std::size_t e = 0; e < outcome.evictionCount; ++e) {
+        const EvictedEntry &evicted = ctx.forcedEviction(outcome, e);
+        bool any = false;
+        const std::uint64_t farthest =
+            farthestTarget(evicted.targets, home, no_requester, any);
+        if (any)
+            latency += p.invalidationCycles + 2 * p.hopCycles * farthest;
+    }
+    return latency;
+}
+
+// --- factory -----------------------------------------------------------------
+
+const std::vector<std::string> &
+costModelNames()
+{
+    static const std::vector<std::string> names = {"fixed", "mesh"};
+    return names;
+}
+
+bool
+isCostModelName(const std::string &name)
+{
+    const auto &names = costModelNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::unique_ptr<CostModel>
+makeCostModel(const std::string &name, const CmpConfig &config,
+              const CostModelParams &params)
+{
+    if (name == "fixed")
+        return std::make_unique<FixedLatencyCostModel>(params);
+    if (name == "mesh")
+        return std::make_unique<MeshCostModel>(config, params);
+    std::string all;
+    for (const std::string &n : costModelNames())
+        all += (all.empty() ? "" : ", ") + n;
+    throw std::invalid_argument("unknown cost model '" + name +
+                                "' (try " + all + ")");
+}
+
+} // namespace cdir

@@ -6,6 +6,7 @@
 
 #include "common/bit_util.hh"
 #include "directory/registry.hh"
+#include "model/cost_model.hh"
 
 namespace cdir {
 
@@ -265,6 +266,12 @@ CmpSystem::applyDirectoryOutcomes(std::size_t slice,
         const DirAccessOutcome &out = ctx.outcome(i);
         const DirRequest &req = requests[i];
 
+        // Timing: the apply phase runs serially in canonical order at
+        // any shard count, so accounting here keeps latency histograms
+        // bit-identical across --jobs x --shards for free.
+        if (costs != nullptr)
+            counters.latency.add(costs->accessLatency(req, out, ctx, slice));
+
         // Writes invalidate the other sharers' cached copies. The
         // directory already updated its own sharer state; caches are
         // invalidated silently (no removeSharer echo).
@@ -431,9 +438,19 @@ CmpSystem::aggregateAttemptHistogram() const
 }
 
 void
+CmpSystem::setCostModel(const CostModel *model)
+{
+    costs = model;
+    if (costs != nullptr)
+        counters.latency.preallocate();
+}
+
+void
 CmpSystem::resetStats()
 {
     counters = CmpStats{};
+    if (costs != nullptr)
+        counters.latency.preallocate();
     for (auto &s : slices)
         s->resetStats();
 }

@@ -78,10 +78,13 @@
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "directory/directory.hh"
+#include "model/latency_histogram.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
 namespace cdir {
+
+class CostModel;
 
 /** Which §2 cache organization is simulated. */
 enum class CmpConfigKind
@@ -143,6 +146,13 @@ struct CmpStats
     std::uint64_t sharingInvalidations = 0; //!< blocks killed by writes
     std::uint64_t forcedInvalidations = 0;  //!< blocks killed by conflicts
     RunningMean directoryOccupancy;         //!< sampled (Fig. 8)
+    /**
+     * Modelled access latencies (cycles); empty unless a CostModel is
+     * attached (CmpSystem::setCostModel) — a default-constructed
+     * histogram owns no storage, so the stats block stays cheap when
+     * timing is off.
+     */
+    LatencyHistogram latency;
 
     /**
      * Fold @p other into this accumulator (deterministic in any fixed
@@ -160,6 +170,7 @@ struct CmpStats
         sharingInvalidations += other.sharingInvalidations;
         forcedInvalidations += other.forcedInvalidations;
         directoryOccupancy.merge(other.directoryOccupancy);
+        latency.merge(other.latency);
     }
 };
 
@@ -210,6 +221,20 @@ class CmpSystem
 
     /** Parallel execution lanes in force (1 = serial). */
     unsigned shards() const { return shardCount; }
+
+    /**
+     * Attach @p model (non-owning; nullptr detaches): every directory
+     * access outcome is charged model->accessLatency() cycles into
+     * stats().latency during the serial apply phase — canonical order
+     * at any shard count, so the histogram is bit-identical at any
+     * `--jobs` x `--shards` setting. With no model attached (the
+     * default) the measure path is exactly the unmodelled driver: one
+     * pointer test per outcome, no histogram storage.
+     */
+    void setCostModel(const CostModel *model);
+
+    /** The attached cost model (nullptr = timing off). */
+    const CostModel *costModel() const { return costs; }
 
     /** Sample aggregate directory occupancy once. */
     void sampleOccupancy();
@@ -327,6 +352,8 @@ class CmpSystem
     std::vector<std::uint32_t> dirtySlices;
     std::vector<DirAccessContext> contexts; //!< one per slice, reused
     CmpStats counters;
+    /** Attached timing model (non-owning; nullptr = timing off). */
+    const CostModel *costs = nullptr;
 
     // --- shard scheduler (see file comment; serial when shardCount <= 1) ---
     unsigned shardCount = 1;

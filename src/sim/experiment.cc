@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "model/cost_model.hh"
 #include "workload/scenario.hh"
 
 namespace cdir {
@@ -19,6 +20,7 @@ struct StatsSnapshot
     std::uint64_t forcedEvictions = 0;
     std::uint64_t sharingInvalidations = 0;
     std::uint64_t forcedInvalidations = 0;
+    LatencyHistogram latency; //!< cumulative; windows cut via subtract()
 };
 
 StatsSnapshot
@@ -33,6 +35,7 @@ takeSnapshot(const CmpSystem &system)
     snap.forcedEvictions = dir.forcedEvictions;
     snap.sharingInvalidations = system.stats().sharingInvalidations;
     snap.forcedInvalidations = system.stats().forcedInvalidations;
+    snap.latency = system.stats().latency;
     return snap;
 }
 
@@ -77,6 +80,10 @@ runMeasureWithIntervals(CmpSystem &system, AccessSource &source,
             cur.sharingInvalidations - prev.sharingInvalidations;
         rec.forcedInvalidations =
             cur.forcedInvalidations - prev.forcedInvalidations;
+        // Window histogram = cumulative minus the previous boundary's
+        // snapshot (exact bucket-wise difference); no-op when untimed.
+        rec.latency = cur.latency;
+        rec.latency.subtract(prev.latency);
         for (std::size_t s = 0; s < system.numSlices(); ++s)
             rec.occupiedEntries += system.slice(s).validEntries();
         rec.capacityEntries = capacity;
@@ -124,6 +131,15 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
     CmpSystem system(config);
     system.setShards(options.shards);
 
+    // Optional timing: construct the selected cost model and attach it
+    // before warmup (warmup samples are discarded with resetStats, like
+    // every other counter). Empty = untimed, nothing allocated.
+    std::unique_ptr<CostModel> costs;
+    if (!options.costModel.empty()) {
+        costs = makeCostModel(options.costModel, config);
+        system.setCostModel(costs.get());
+    }
+
     // Warmup-then-measure methodology (§5): warm the system with
     // statistics discarded, then measure. A trace shorter than
     // warmup + measure simply ends early (system.accesses records how
@@ -153,6 +169,13 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
     result.forcedInvalidationRate =
         result.directory.forcedInvalidationRate();
     result.avgOccupancy = system.stats().directoryOccupancy.mean();
+    if (costs) {
+        result.costModel = costs->name();
+        const LatencyHistogram &lat = result.system.latency;
+        result.latencyP50 = lat.percentile(500);
+        result.latencyP99 = lat.percentile(990);
+        result.latencyP999 = lat.percentile(999);
+    }
     return result;
 }
 

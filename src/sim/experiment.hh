@@ -42,6 +42,17 @@ struct ExperimentResult
      * is free when unused — see sim/interval_stats.hh).
      */
     IntervalStats intervals;
+    /** Cost model the run was timed under ("" = untimed). */
+    std::string costModel;
+    /**
+     * Tail-latency percentiles of the measure run's directory-access
+     * latency histogram (system.latency), in cycles; 0 unless a cost
+     * model was selected. Nearest-rank over integer buckets, so the
+     * values are bit-identical at any --jobs x --shards setting.
+     */
+    std::uint64_t latencyP50 = 0;
+    std::uint64_t latencyP99 = 0;
+    std::uint64_t latencyP999 = 0;
 };
 
 /** Knobs for experiment length (defaults keep full runs under minutes). */
@@ -67,6 +78,13 @@ struct ExperimentOptions
      * relative to each window's start.
      */
     std::uint64_t intervalAccesses = 0;
+    /**
+     * Timing cost model ("fixed", "mesh"; see model/cost_model.hh).
+     * Empty (the default) runs untimed: no model is constructed, no
+     * histogram is allocated, and the measure path is byte-for-byte the
+     * unmodelled one.
+     */
+    std::string costModel;
 };
 
 /**

@@ -35,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "model/latency_histogram.hh"
+
 namespace cdir {
 
 /** Counter deltas over one access window, plus an occupancy sample. */
@@ -55,6 +57,11 @@ struct IntervalRecord
     /** Aggregate directory capacity (kept per record so merged partial
      *  series stay self-describing). */
     std::uint64_t capacityEntries = 0;
+    /** Latency samples recorded in the window; empty (and unallocated —
+     *  the histogram costs nothing) unless a cost model was attached.
+     *  Integer bucket counts, so window histograms sum exactly to the
+     *  whole-run histogram. */
+    LatencyHistogram latency;
 
     /** Occupancy fraction at the window boundary. */
     double
@@ -98,6 +105,7 @@ struct IntervalRecord
         forcedInvalidations += other.forcedInvalidations;
         occupiedEntries += other.occupiedEntries;
         capacityEntries += other.capacityEntries;
+        latency.merge(other.latency);
     }
 };
 

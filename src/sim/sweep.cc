@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <string_view>
 
+#include "model/cost_model.hh"
 #include "workload/scenario.hh"
 #include "workload/trace.hh"
 
@@ -544,7 +545,11 @@ usage(const char *bad)
         "  --scenario=S[,S...]   drive phased scenarios as the workload "
         "axis\n"
         "                        (preset names, scenario files, or "
-        "'all')\n",
+        "'all')\n"
+        "  --cost-model=M[,M...] time each cell under these cost models\n"
+        "                        ('fixed', 'mesh', or 'all'; default: "
+        "untimed)\n"
+        "                        and report p50/p99/p99.9 latency\n",
         bad);
     std::exit(2);
 }
@@ -616,6 +621,26 @@ parseHarnessOptions(int argc, char **argv)
             if (*v == '\0')
                 usage(argv[i]);
             opts.scenario = v;
+        } else if (const char *v = cliFlagValue(argv[i], "cost-model")) {
+            // Validate every name at parse time so a typo fails with a
+            // usage message here, not once per grid cell mid-sweep.
+            if (std::strcmp(v, "all") == 0) {
+                opts.costModels = costModelNames();
+            } else {
+                std::string_view rest = v;
+                while (!rest.empty()) {
+                    const std::size_t comma = rest.find(',');
+                    const std::string name(rest.substr(0, comma));
+                    if (!isCostModelName(name))
+                        usage(argv[i]);
+                    opts.costModels.push_back(name);
+                    if (comma == std::string_view::npos)
+                        break;
+                    rest.remove_prefix(comma + 1);
+                }
+                if (opts.costModels.empty())
+                    usage(argv[i]);
+            }
         }
         // Anything else is a harness-specific flag or positional
         // argument; the harness parses those itself.
@@ -629,6 +654,22 @@ parseHarnessOptions(int argc, char **argv)
     opts.shards = clampedShards(opts.jobs, opts.shards,
                                 ThreadPool::hardwareWorkers());
     return opts;
+}
+
+void
+appendCostModelOptions(SweepSpec &spec, const std::string &label,
+                       const ExperimentOptions &base,
+                       const HarnessOptions &cli)
+{
+    if (cli.costModels.empty()) {
+        spec.options(label, base);
+        return;
+    }
+    for (const std::string &model : cli.costModels) {
+        ExperimentOptions opts = base;
+        opts.costModel = model;
+        spec.options(label.empty() ? model : label + "/" + model, opts);
+    }
 }
 
 void
@@ -660,6 +701,11 @@ warnFlagUnused(const HarnessOptions &opts,
                 std::fprintf(stderr,
                              "note: this harness runs no CMP "
                              "simulation; --shards has no effect\n");
+        } else if (std::strcmp(flag, "cost-model") == 0) {
+            if (!opts.costModels.empty())
+                std::fprintf(stderr,
+                             "note: this harness runs no timed "
+                             "experiment; --cost-model has no effect\n");
         } else {
             std::fprintf(stderr,
                          "warnFlagUnused: unknown flag name '%s'\n",

@@ -359,6 +359,16 @@ struct HarnessOptions
      * presets. Mutually exclusive with --trace.
      */
     std::string scenario;
+    /**
+     * --cost-model=<name>[,...]: time every cell under these cost
+     * models ("fixed", "mesh", or "all" — see model/cost_model.hh),
+     * reporting tail-latency percentiles. Names are validated at parse
+     * time. Empty (the default) runs untimed with the measure path
+     * unchanged. applyOverrides() applies the first name; grid
+     * harnesses expand multiple names into an options axis with
+     * appendCostModelOptions().
+     */
+    std::vector<std::string> costModels;
 
     /** SweepOptions with this jobs/filter pair. */
     SweepOptions
@@ -381,6 +391,8 @@ struct HarnessOptions
             opts.warmupAccesses = warmupOverride;
         if (measureOverride != 0)
             opts.measureAccesses = measureOverride;
+        if (!costModels.empty())
+            opts.costModel = costModels.front();
         opts.shards = shards;
         if (shardsRequested > 1 && shards != shardsRequested) {
             static bool noted = false;
@@ -422,12 +434,26 @@ const char *cliFlagValue(const char *arg, const char *name);
  *
  * Known names: "filter" (generic map() grids have no cell labels),
  * "trace" / "scenario" (the workload axis is not built from
- * paperSweep), and "shards" (the grid never constructs a CmpSystem).
- * A flag the user did not supply prints nothing, so the call is free
- * in the common case; an unknown name aborts (programming error).
+ * paperSweep), "shards" (the grid never constructs a CmpSystem), and
+ * "cost-model" (the grid runs no timed experiment). A flag the user
+ * did not supply prints nothing, so the call is free in the common
+ * case; an unknown name aborts (programming error).
  */
 void warnFlagUnused(const HarnessOptions &opts,
                     std::initializer_list<const char *> flags);
+
+/**
+ * Append the options axis a grid harness derives from @p base and the
+ * --cost-model= selection: one axis point per selected model (labelled
+ * by model name, prefixed by @p label when non-empty) with
+ * ExperimentOptions::costModel set, or the single untimed @p label /
+ * @p base point when no model was selected. Cell labels therefore gain
+ * a "/fixed", "/mesh" coordinate exactly when timing is on, keeping
+ * untimed harness output byte-identical to before the flag existed.
+ */
+void appendCostModelOptions(SweepSpec &spec, const std::string &label,
+                            const ExperimentOptions &base,
+                            const HarnessOptions &cli);
 
 } // namespace cdir
 

@@ -140,6 +140,9 @@ Scenario::validate() const
              phase.workload.sharedBlocks == 0 ||
              phase.workload.privateBlocksPerCore == 0))
             fail(at + ": synthetic footprints must be >= 1 block");
+        if (phase.workload.tracePath.empty() &&
+            (phase.traceOffset != 0 || phase.traceCursor))
+            fail(at + ": trace offset/cursor without a trace segment");
     }
 }
 
@@ -149,6 +152,7 @@ ScenarioWorkload::ScenarioWorkload(const Scenario &scenario)
     : script(scenario)
 {
     script.validate();
+    cursorReaders.resize(script.phases.size());
     threadToCore.resize(script.numCores);
     online.resize(script.numCores);
     std::iota(threadToCore.begin(), threadToCore.end(), CoreId{0});
@@ -187,11 +191,44 @@ ScenarioWorkload::enterPhase(std::size_t index)
     params.numCores = script.numCores;
     if (!params.tracePath.empty()) {
         // A trace segment: strict, core-bounded, one private reader per
-        // workload instance (concurrent cells share nothing).
-        phaseSource = makeTraceReader(
-            params.tracePath, TraceReadOptions{script.numCores, true});
+        // workload instance (concurrent cells share nothing). The
+        // offset is consumed when the reader opens — once per entry for
+        // plain phases, once ever for cursor phases, whose reader
+        // persists across exits and loop wraps so each pass reads the
+        // trace's next window.
+        const auto skipOffset = [&](AccessSource &reader) {
+            for (std::uint64_t skipped = 0; skipped < phase.traceOffset;
+                 ++skipped) {
+                if (reader.exhausted())
+                    throw std::runtime_error(
+                        "scenario '" + script.name + "' phase '" +
+                        phase.label + "': trace offset " +
+                        std::to_string(phase.traceOffset) +
+                        " is past the end of " + params.tracePath +
+                        " (" + std::to_string(skipped) +
+                        " record(s) available)");
+                reader.next();
+            }
+        };
+        if (phase.traceCursor) {
+            phaseSource.reset();
+            if (!cursorReaders[index]) {
+                cursorReaders[index] = makeTraceReader(
+                    params.tracePath,
+                    TraceReadOptions{script.numCores, true});
+                skipOffset(*cursorReaders[index]);
+            }
+            phaseStream = cursorReaders[index].get();
+        } else {
+            phaseSource = makeTraceReader(
+                params.tracePath,
+                TraceReadOptions{script.numCores, true});
+            skipOffset(*phaseSource);
+            phaseStream = phaseSource.get();
+        }
     } else {
         phaseSource = std::make_unique<SyntheticSource>(params);
+        phaseStream = phaseSource.get();
     }
 
     // Phase-keyed mixing RNG: reseeded on every entry so a looping
@@ -215,6 +252,7 @@ ScenarioWorkload::ensurePhase()
         }
         if (!script.loop) {
             phaseSource.reset();
+            phaseStream = nullptr;
             return false;
         }
         // Wrap to a clean slate: identity mapping, every core online,
@@ -269,11 +307,22 @@ ScenarioWorkload::fill()
             return; // schedule over: exhausted() turns true
         const ScenarioPhase &phase = script.phases[phaseIndex];
 
-        // A trace segment shorter than its phase ends it early — the
-        // segment bounds the phase even when a burst overlay could
+        // A plain trace segment shorter than its phase ends it early —
+        // the segment bounds the phase even when a burst overlay could
         // still emit (checked first so a dry segment never leaves a
-        // phase emitting pure burst traffic).
-        if (phaseSource->exhausted()) {
+        // phase emitting pure burst traffic). A *windowed* segment
+        // (offset/cursor) running dry instead fails loudly: ending the
+        // phase early would silently shift every label and loop period
+        // the schedule declares.
+        if (phaseStream->exhausted()) {
+            if (phase.traceOffset != 0 || phase.traceCursor)
+                throw std::runtime_error(
+                    "scenario '" + script.name + "' phase '" +
+                    phase.label + "': windowed trace segment " +
+                    phase.workload.tracePath + " ran dry after " +
+                    std::to_string(emittedInPhase) + " of " +
+                    std::to_string(phase.accesses) +
+                    " accesses — the declared schedule would shift");
             emittedInPhase = phase.accesses;
             continue;
         }
@@ -281,7 +330,7 @@ ScenarioWorkload::fill()
             burstRng.chance(phase.burst.fraction)) {
             buffered = burstAccess();
         } else {
-            buffered = phaseSource->next();
+            buffered = phaseStream->next();
             // The base stream's core id is a *logical thread*; the
             // live mapping decides which physical core issues it.
             // Accesses from offline cores are dropped (the thread is
@@ -518,9 +567,23 @@ parseScenarioText(const std::string &text, const std::string &name)
                               "unknown knob '" + arg + "'");
             }
         } else if (directive == "trace") {
-            want(1, 1);
+            want(1, 3);
             phaseScoped();
             phase.workload.tracePath = args[0];
+            for (std::size_t a = 1; a < args.size(); ++a) {
+                std::string key, value;
+                if (args[a] == "cursor")
+                    phase.traceCursor = true;
+                else if (splitKeyValue(args[a], key, value) &&
+                         key == "offset")
+                    phase.traceOffset = parseCount(value, name,
+                                                   line_number,
+                                                   "trace offset");
+                else
+                    parseFail(name, line_number,
+                              "unknown trace option '" + args[a] +
+                                  "' (try offset=N or cursor)");
+            }
         } else if (directive == "migrate") {
             want(2, 2);
             phaseScoped();

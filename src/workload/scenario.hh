@@ -91,9 +91,27 @@ struct ScenarioPhase
     /** Accesses the phase emits (>= 1). */
     std::uint64_t accesses = 0;
     /** Base stream: synthetic knobs, or a trace segment when
-     *  workload.tracePath is set (a segment shorter than the phase
-     *  simply ends the phase early). */
+     *  workload.tracePath is set (a plain segment shorter than the
+     *  phase simply ends the phase early; a *windowed* segment — see
+     *  traceOffset / traceCursor — must cover the phase). */
     WorkloadParams workload;
+    /**
+     * Records of the trace segment skipped before the phase's first
+     * access (trace phases only), so one long trace can serve several
+     * phases as distinct windows. A windowed phase that runs dry
+     * mid-phase throws instead of ending early: the declared schedule
+     * (phase labels, loop period) must never silently shift.
+     */
+    std::uint64_t traceOffset = 0;
+    /**
+     * Persistent segment cursor (trace phases only): the phase's reader
+     * survives phase exits and loop wraps, so each pass through the
+     * phase consumes the *next* window of the trace instead of
+     * restarting at traceOffset. The offset is applied once, when the
+     * reader first opens. Like traceOffset, running dry mid-phase
+     * throws rather than shifting the schedule.
+     */
+    bool traceCursor = false;
     /** Transitions applied when the phase begins. */
     std::vector<ScenarioEvent> events;
     /** Producer-consumer overlay (fraction 0 = off). */
@@ -121,11 +139,13 @@ struct Scenario
     /**
      * Phase active at absolute access @p index (looping scenarios wrap
      * modulo totalAccesses()). Requires a validated scenario. The
-     * tiling assumes every phase emits its declared length: a trace
-     * segment shorter than its phase ends the phase early, shifting
-     * the emitted stream ahead of this schedule (labels and the loop
-     * period then describe the declaration, not the stream — see the
-     * ROADMAP follow-up on segment cursors).
+     * tiling assumes every phase emits its declared length: a plain
+     * trace segment shorter than its phase ends the phase early,
+     * shifting the emitted stream ahead of this schedule (labels and
+     * the loop period then describe the declaration, not the stream);
+     * a *windowed* segment (traceOffset / traceCursor) instead throws
+     * when it cannot cover its phase, so windowed schedules never
+     * shift.
      */
     const ScenarioPhase &phaseAt(std::uint64_t index) const;
 
@@ -183,8 +203,16 @@ class ScenarioWorkload : public AccessSource
     Scenario script;
     std::size_t phaseIndex = 0;
     std::uint64_t emittedInPhase = 0;
-    /** Base stream of the current phase (synthetic or trace segment). */
+    /** Base stream of the current phase (synthetic or trace segment);
+     *  empty while a cursor phase runs (its reader lives in
+     *  cursorReaders). */
     std::unique_ptr<AccessSource> phaseSource;
+    /** Per-phase persistent readers for traceCursor phases, surviving
+     *  phase exits and loop wraps (indexed by phase). */
+    std::vector<std::unique_ptr<AccessSource>> cursorReaders;
+    /** The stream fill() draws from: phaseSource, or the current
+     *  phase's cursor reader. Non-owning. */
+    AccessSource *phaseStream = nullptr;
     /** Burst-mixing RNG, reseeded per phase entry. */
     Rng burstRng{0};
     std::uint64_t burstSeq = 0;
@@ -210,7 +238,7 @@ class ScenarioWorkload : public AccessSource
  *     phase <label> <start> <accesses>    # explicit start (validated)
  *       preset <DB2|ocean|...|synthetic>  # base WorkloadParams
  *       set <knob>=<value>                # override a synthetic knob
- *       trace <path>                      # trace segment instead
+ *       trace <path> [offset=N] [cursor]  # trace segment instead
  *       migrate <thread> <core>
  *       offline <core>
  *       online <core>
@@ -218,7 +246,11 @@ class ScenarioWorkload : public AccessSource
  *
  * `set` knobs: code-blocks, shared-blocks, private-blocks, instr-frac,
  * shared-frac, write-frac, code-theta, shared-theta, private-theta,
- * seed. Directives before the first `phase` configure the scenario;
+ * seed. `trace` options: `offset=N` skips the segment's first N records
+ * and `cursor` makes the reader persistent across passes (windowing one
+ * long trace — see ScenarioPhase); either one makes the segment
+ * *windowed*, rejected at run time if it cannot cover its phase.
+ * Directives before the first `phase` configure the scenario;
  * `loop <on|off>` controls wrapping. Errors (unknown directive/event,
  * malformed value, core id out of range) throw std::runtime_error
  * carrying "<name>:<line>: message"; schedule errors (overlapping

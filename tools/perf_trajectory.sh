@@ -1,0 +1,48 @@
+#!/bin/sh
+# Perf-trajectory snapshot: one JSON file per PR recording both the
+# micro (directory-operation) and end-to-end (accesses/sec) throughput
+# of this commit, so performance regressions are visible as a series
+# across the repository's history instead of anecdotes.
+#
+#   tools/perf_trajectory.sh <build-dir> <output.json> [label]
+#
+# e.g.  tools/perf_trajectory.sh build BENCH_6.json pr6
+#
+# The micro side runs a narrow, fast google-benchmark filter (the
+# allocation-free churn paths for the headline organizations); the
+# end-to-end side runs bench/end_to_end_rate. Output is assembled with
+# plain shell so the script has no dependencies beyond the build tree.
+# Wall-clock numbers are runner-dependent: compare files produced on
+# the same machine class (the CI step pins one runner type).
+set -eu
+
+build=${1:?usage: perf_trajectory.sh <build-dir> <output.json> [label]}
+out=${2:?usage: perf_trajectory.sh <build-dir> <output.json> [label]}
+label=${3:-dev}
+
+for bin in micro_directory_ops end_to_end_rate; do
+    if [ ! -x "$build/$bin" ]; then
+        echo "perf_trajectory.sh: $build/$bin not built" >&2
+        exit 1
+    fi
+done
+
+micro_json=$(mktemp)
+e2e_json=$(mktemp)
+trap 'rm -f "$micro_json" "$e2e_json"' EXIT
+
+"$build/micro_directory_ops" \
+    --benchmark_filter='BM_ContextAccessChurn/(Cuckoo|Sparse)|BM_AccessBatch/Cuckoo' \
+    --benchmark_format=json >"$micro_json"
+
+"$build/end_to_end_rate" --accesses=500000 >"$e2e_json"
+
+{
+    printf '{\n"label": "%s",\n"micro": ' "$label"
+    cat "$micro_json"
+    printf ',\n"end_to_end": '
+    cat "$e2e_json"
+    printf '}\n'
+} >"$out"
+
+echo "perf_trajectory.sh: wrote $out" >&2

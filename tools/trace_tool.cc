@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 
+#include "model/cost_model.hh"
 #include "sim/sweep.hh"
 #include "workload/trace.hh"
 
@@ -54,7 +55,7 @@ usage(const char *error = nullptr)
         "      traces. Default format is binary; --text writes lines.\n"
         "  trace_tool replay <trace> [--cores=N] [--private-l2]\n"
         "             [--org=NAME] [--ways=N] [--sets=N] [--warmup=N]\n"
-        "             [--measure=N] [--shards=N]\n"
+        "             [--measure=N] [--shards=N] [--cost-model=NAME]\n"
         "             [--format=table|csv|json]\n"
         "      runExperiment over the trace: warmup (stats discarded),\n"
         "      then measure; reports the directory metrics. Defaults\n"
@@ -62,6 +63,8 @@ usage(const char *error = nullptr)
         "      trace shorter than warmup+measure simply ends early.\n"
         "      --shards partitions the directory slices across parallel\n"
         "      lanes (bit-identical results at any count).\n"
+        "      --cost-model=fixed|mesh times every directory access and\n"
+        "      adds latency percentile rows (p50/p99/p99.9, in cycles).\n"
         "  trace_tool info <trace>\n"
         "      format, record count, per-op and per-core census.\n"
         "  trace_tool convert <in> <out> [--text] [--from=champsim]\n"
@@ -102,6 +105,7 @@ struct CommonFlags
     bool privateL2 = false;
     bool text = false;
     std::string from;                 // convert input dialect ("" = native)
+    std::string costModel;            // "" = untimed
     std::string organization = "Cuckoo";
     ReportFormat format = ReportFormat::Table;
     bool coresGiven = false;          // --cores= was on the command line
@@ -149,6 +153,9 @@ parseFlags(int argc, char **argv, int first,
                  flags.privateBlocks != 0;
         } else if ((v = cliFlagValue(arg, name = "org"))) {
             flags.organization = v;
+        } else if ((v = cliFlagValue(arg, name = "cost-model"))) {
+            flags.costModel = v;
+            ok = isCostModelName(flags.costModel);
         } else if ((v = cliFlagValue(arg, name = "from"))) {
             flags.from = v;
             ok = flags.from == "champsim" || flags.from == "native";
@@ -256,7 +263,8 @@ cmdReplay(int argc, char **argv)
     CommonFlags flags;
     if (!parseFlags(argc, argv, 3,
                     {"cores", "private-l2", "org", "ways", "sets",
-                     "warmup", "measure", "shards", "format"},
+                     "warmup", "measure", "shards", "cost-model",
+                     "format"},
                     flags))
         return usage();
 
@@ -276,6 +284,7 @@ cmdReplay(int argc, char **argv)
     if (flags.measure != kUnset)
         options.measureAccesses = flags.measure;
     options.shards = static_cast<unsigned>(flags.shards);
+    options.costModel = flags.costModel;
 
     const ExperimentResult result = runExperiment(
         config, traceWorkloadParams(argv[2]), options);
@@ -312,6 +321,22 @@ cmdReplay(int argc, char **argv)
         {cellText("avg occupancy"), cellNum(result.avgOccupancy, "%.4f")});
     table.addRow({cellText("directory capacity"),
                   cellNum(double(result.directoryCapacity), "%.0f")});
+    if (!result.costModel.empty()) {
+        const LatencyHistogram &lat = result.system.latency;
+        table.addRow({cellText("latency samples (" + result.costModel +
+                               " model)"),
+                      cellNum(double(lat.count()), "%.0f")});
+        table.addRow(
+            {cellText("latency mean"), cellNum(lat.mean(), "%.2f")});
+        table.addRow({cellText("latency p50"),
+                      cellNum(double(result.latencyP50), "%.0f")});
+        table.addRow({cellText("latency p99"),
+                      cellNum(double(result.latencyP99), "%.0f")});
+        table.addRow({cellText("latency p99.9"),
+                      cellNum(double(result.latencyP999), "%.0f")});
+        table.addRow({cellText("latency max"),
+                      cellNum(double(lat.maxLatency()), "%.0f")});
+    }
     report.table(table);
     return 0;
 }
