@@ -18,6 +18,15 @@
  * Each reports an `allocs/op` counter from a global operator-new hook;
  * after warmup the context/batch paths must report 0.00 while the
  * snapshot path pays for its owning copy on every call.
+ *
+ * The A/B families quantify the SoA/kernel work directly:
+ *
+ *  - BM_ProbeAB/<org>/{kernel,scalar} runs one probe-churn stream with
+ *    the way-compare kernels on vs forced to their scalar reference
+ *    twins (setForceScalarKernels) — the pair is the per-organization
+ *    lookup-path speedup;
+ *  - BM_Sharer{Union,FanOut,PopcountRange}/{word,loop} compare the
+ *    word-parallel DynamicBitset kernels against per-bit loops.
  */
 
 #include <benchmark/benchmark.h>
@@ -27,6 +36,8 @@
 #include <vector>
 
 #include "common/alloc_counter.hh"
+#include "common/bit_util.hh"
+#include "common/bitset.hh"
 #include "common/rng.hh"
 #include "directory/registry.hh"
 
@@ -91,6 +102,120 @@ BM_Probe(benchmark::State &state, const std::string &org)
         benchmark::DoNotOptimize(dir->probe(live[i++ % live.size()]));
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// --- A/B: probe kernel vs scalar reference -----------------------------------
+
+/**
+ * The probe-churn stream of BM_ContextAccessChurn with the way-compare
+ * path pinned to either the word-parallel kernels ("kernel") or their
+ * branchy scalar reference twins ("scalar"). Both variants run the
+ * identical operation stream — the delta between them is exactly the
+ * SoA kernel win on that organization's lookup path.
+ */
+void
+BM_ProbeKernelAB(benchmark::State &state, const std::string &org,
+                 bool force_scalar)
+{
+    const bool saved = forceScalarKernels();
+    setForceScalarKernels(force_scalar);
+    auto dir = build(org);
+    DirAccessContext ctx = dir->makeContext();
+    std::vector<Tag> live;
+    warm(*dir, ctx, live, 2048);
+    Rng rng(7);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const std::size_t k = i++ % live.size();
+        const auto cache = static_cast<CacheId>(k % kCaches);
+        dir->removeSharer(live[k], cache);
+        const Tag fresh = rng.next() >> 8;
+        ctx.reset();
+        dir->access(DirRequest{fresh, cache, false}, ctx);
+        benchmark::DoNotOptimize(dir->probe(fresh));
+        live[k] = fresh;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 2));
+    setForceScalarKernels(saved);
+}
+
+// --- A/B: word-parallel sharer-set ops vs per-bit loops ----------------------
+
+constexpr std::size_t kSharerBits = 1024;
+
+/** A ~12%-dense sharer set plus a disjoint-ish second operand. */
+struct SharerFixture
+{
+    DynamicBitset a{kSharerBits};
+    DynamicBitset b{kSharerBits};
+    SharerFixture()
+    {
+        Rng rng(11);
+        for (std::size_t i = 0; i < kSharerBits / 8; ++i) {
+            a.set(rng.below(kSharerBits));
+            b.set(rng.below(kSharerBits));
+        }
+    }
+};
+
+void
+BM_SharerUnion(benchmark::State &state, bool word_parallel)
+{
+    const SharerFixture fx;
+    DynamicBitset out(kSharerBits);
+    for (auto _ : state) {
+        out.reinit(kSharerBits);
+        out.orWith(fx.a);
+        if (word_parallel) {
+            out.orWith(fx.b);
+        } else {
+            for (std::size_t i = 0; i < kSharerBits; ++i)
+                if (fx.b.test(i))
+                    out.set(i);
+        }
+        benchmark::DoNotOptimize(out.count());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kSharerBits));
+}
+
+void
+BM_SharerFanOut(benchmark::State &state, bool word_parallel)
+{
+    const SharerFixture fx;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        if (word_parallel) {
+            fx.a.forEachSetBit([&](std::size_t i) { sum += i; });
+        } else {
+            for (std::size_t i = 0; i < kSharerBits; ++i)
+                if (fx.a.test(i))
+                    sum += i;
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kSharerBits));
+}
+
+void
+BM_SharerPopcountRange(benchmark::State &state, bool word_parallel)
+{
+    const SharerFixture fx;
+    const std::size_t lo = 13, hi = kSharerBits - 9;
+    for (auto _ : state) {
+        std::size_t n = 0;
+        if (word_parallel) {
+            n = fx.a.popcountRange(lo, hi);
+        } else {
+            for (std::size_t i = lo; i < hi; ++i)
+                n += fx.a.test(i) ? 1 : 0;
+        }
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * (hi - lo)));
 }
 
 /** Before: every access pays for an owning DirAccessResult snapshot —
@@ -231,6 +356,39 @@ registerBenchmarks()
             benchmark::RegisterBenchmark(
                 name.c_str(),
                 [fn, org](benchmark::State &state) { fn(state, org); });
+        }
+    }
+
+    // A/B pairs: same stream, kernel path vs scalar reference path.
+    for (const std::string &org : DirectoryRegistry::instance().names()) {
+        for (const bool scalar : {false, true}) {
+            const std::string name = std::string("BM_ProbeAB/") + org +
+                                     (scalar ? "/scalar" : "/kernel");
+            benchmark::RegisterBenchmark(
+                name.c_str(), [org, scalar](benchmark::State &state) {
+                    BM_ProbeKernelAB(state, org, scalar);
+                });
+        }
+    }
+    struct SharerFamily
+    {
+        const char *name;
+        void (*fn)(benchmark::State &, bool);
+    };
+    const SharerFamily sharer_families[] = {
+        {"BM_SharerUnion", BM_SharerUnion},
+        {"BM_SharerFanOut", BM_SharerFanOut},
+        {"BM_SharerPopcountRange", BM_SharerPopcountRange},
+    };
+    for (const SharerFamily &family : sharer_families) {
+        for (const bool word : {true, false}) {
+            const std::string name = std::string(family.name) +
+                                     (word ? "/word" : "/loop");
+            auto *fn = family.fn;
+            benchmark::RegisterBenchmark(
+                name.c_str(), [fn, word](benchmark::State &state) {
+                    fn(state, word);
+                });
         }
     }
 }

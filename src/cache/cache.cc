@@ -9,9 +9,13 @@ namespace cdir {
 SetAssocCache::SetAssocCache(const CacheConfig &config) : cfg(config)
 {
     assert(isPowerOfTwo(cfg.numSets));
-    assert(cfg.assoc >= 1);
+    assert(cfg.assoc >= 1 && cfg.assoc <= kKernelWidth);
     indexMask = cfg.numSets - 1;
-    frames.resize(cfg.numSets * cfg.assoc);
+    const std::size_t total = cfg.numSets * cfg.assoc;
+    addrs.assign(total, 0);
+    valids.assign(total, 0);
+    dirtys.assign(total, 0);
+    lastUses.assign(total, 0);
 }
 
 std::size_t
@@ -20,22 +24,13 @@ SetAssocCache::setIndex(BlockAddr addr) const
     return static_cast<std::size_t>(addr) & indexMask;
 }
 
-SetAssocCache::Frame *
-SetAssocCache::find(BlockAddr addr)
+std::size_t
+SetAssocCache::findFrame(BlockAddr addr) const
 {
     const std::size_t base = setIndex(addr) * cfg.assoc;
-    for (unsigned w = 0; w < cfg.assoc; ++w) {
-        Frame &f = frames[base + w];
-        if (f.valid && f.addr == addr)
-            return &f;
-    }
-    return nullptr;
-}
-
-const SetAssocCache::Frame *
-SetAssocCache::find(BlockAddr addr) const
-{
-    return const_cast<SetAssocCache *>(this)->find(addr);
+    const std::size_t w =
+        findTag(&addrs[base], &valids[base], cfg.assoc, addr);
+    return w == cfg.assoc ? nframe : base + w;
 }
 
 CacheAccessResult
@@ -44,62 +39,64 @@ SetAssocCache::access(BlockAddr addr, bool is_write)
     CacheAccessResult result;
     ++useClock;
 
-    if (Frame *f = find(addr)) {
+    const std::size_t f = findFrame(addr);
+    if (f != nframe) {
         result.hit = true;
-        if (is_write && !f->dirty) {
+        if (is_write && dirtys[f] == 0) {
             result.writeHitClean = true;
-            f->dirty = true;
+            dirtys[f] = 1;
         }
-        f->lastUse = useClock;
+        lastUses[f] = useClock;
         return result;
     }
 
-    // Miss: pick an invalid frame or the LRU victim.
+    // Miss: pick an invalid frame or the LRU victim (first vacant way
+    // wins, else the strictly-smallest lastUse in way order).
     const std::size_t base = setIndex(addr) * cfg.assoc;
-    Frame *victim = &frames[base];
-    for (unsigned w = 0; w < cfg.assoc; ++w) {
-        Frame &f = frames[base + w];
-        if (!f.valid) {
-            victim = &f;
-            break;
-        }
-        if (f.lastUse < victim->lastUse)
-            victim = &f;
+    std::size_t victim = base;
+    const std::size_t vacant = cdir::findVacant(&valids[base], cfg.assoc);
+    if (vacant != cfg.assoc) {
+        victim = base + vacant;
+    } else {
+        for (unsigned w = 1; w < cfg.assoc; ++w)
+            if (lastUses[base + w] < lastUses[victim])
+                victim = base + w;
     }
 
-    if (victim->valid) {
-        result.victim = victim->addr;
-        result.victimDirty = victim->dirty;
+    if (valids[victim] != 0) {
+        result.victim = addrs[victim];
+        result.victimDirty = dirtys[victim] != 0;
     } else {
         ++resident;
     }
 
-    victim->addr = addr;
-    victim->valid = true;
-    victim->dirty = is_write;
-    victim->lastUse = useClock;
+    addrs[victim] = addr;
+    valids[victim] = 1;
+    dirtys[victim] = is_write ? 1 : 0;
+    lastUses[victim] = useClock;
     return result;
 }
 
 bool
 SetAssocCache::contains(BlockAddr addr) const
 {
-    return find(addr) != nullptr;
+    return findFrame(addr) != nframe;
 }
 
 bool
 SetAssocCache::isDirty(BlockAddr addr) const
 {
-    const Frame *f = find(addr);
-    return f != nullptr && f->dirty;
+    const std::size_t f = findFrame(addr);
+    return f != nframe && dirtys[f] != 0;
 }
 
 bool
 SetAssocCache::invalidate(BlockAddr addr)
 {
-    if (Frame *f = find(addr)) {
-        f->valid = false;
-        f->dirty = false;
+    const std::size_t f = findFrame(addr);
+    if (f != nframe) {
+        valids[f] = 0;
+        dirtys[f] = 0;
         assert(resident > 0);
         --resident;
         return true;
@@ -110,8 +107,9 @@ SetAssocCache::invalidate(BlockAddr addr)
 void
 SetAssocCache::cleanse(BlockAddr addr)
 {
-    if (Frame *f = find(addr))
-        f->dirty = false;
+    const std::size_t f = findFrame(addr);
+    if (f != nframe)
+        dirtys[f] = 0;
 }
 
 std::vector<BlockAddr>
@@ -119,9 +117,9 @@ SetAssocCache::residentAddresses() const
 {
     std::vector<BlockAddr> out;
     out.reserve(resident);
-    for (const Frame &f : frames)
-        if (f.valid)
-            out.push_back(f.addr);
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        if (valids[i] != 0)
+            out.push_back(addrs[i]);
     return out;
 }
 

@@ -88,21 +88,22 @@ class SetAssocCache
     std::vector<BlockAddr> residentAddresses() const;
 
   private:
-    struct Frame
-    {
-        BlockAddr addr = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
+    static constexpr std::size_t nframe = ~std::size_t{0};
 
     std::size_t setIndex(BlockAddr addr) const;
-    Frame *find(BlockAddr addr);
-    const Frame *find(BlockAddr addr) const;
+
+    /** Flat frame index of @p addr, or nframe. */
+    std::size_t findFrame(BlockAddr addr) const;
 
     CacheConfig cfg;
     std::size_t indexMask;
-    std::vector<Frame> frames; //!< numSets x assoc, row-major
+    // Structure-of-arrays frame storage, set-major: a set's assoc
+    // candidate addresses are one contiguous run the probe kernel
+    // reduces in a single pass (see common/bit_util.hh).
+    std::vector<BlockAddr> addrs;        //!< SoA address lane
+    std::vector<std::uint8_t> valids;    //!< SoA valid lane
+    std::vector<std::uint8_t> dirtys;    //!< SoA dirty lane
+    std::vector<std::uint64_t> lastUses; //!< SoA LRU lane
     std::uint64_t useClock = 0;
     std::size_t resident = 0;
 };

@@ -6,6 +6,14 @@
  * operations; directory sharer vectors need a size chosen at configuration
  * time (the number of private caches) plus fast population count and
  * iteration over set bits.
+ *
+ * Word storage is 64-byte aligned (one cache line) so the bulk kernels —
+ * orWith/andWith, popcountRange, setRange, forEachSetBit — stream whole
+ * lines and auto-vectorize cleanly; a 1024-core sharer vector is exactly
+ * two lines. forEachSetBit is the invalidation fan-out primitive: it
+ * walks words and extracts set bits with countr_zero instead of
+ * re-scanning from the start per bit the way findFirst/findNext chains
+ * do.
  */
 
 #ifndef CDIR_COMMON_BITSET_HH
@@ -14,14 +22,56 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 namespace cdir {
+
+/**
+ * Minimal allocator pinning allocations to @p Align bytes; keeps
+ * std::vector's value semantics while making every word buffer start on
+ * a cache-line boundary.
+ */
+template <typename T, std::size_t Align>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {}
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    bool operator==(const AlignedAllocator &) const { return true; }
+    bool operator!=(const AlignedAllocator &) const { return false; }
+};
 
 /** Dynamically sized bitset with word-parallel operations. */
 class DynamicBitset
 {
   public:
+    /** Cache-line-aligned word buffer (see file comment). */
+    using WordVector =
+        std::vector<std::uint64_t, AlignedAllocator<std::uint64_t, 64>>;
+
     DynamicBitset() = default;
 
     /** Construct with @p bits bits, all clear. */
@@ -87,6 +137,29 @@ class DynamicBitset
         return total;
     }
 
+    /** Number of set bits in [lo, hi). */
+    std::size_t
+    popcountRange(std::size_t lo, std::size_t hi) const
+    {
+        assert(lo <= hi && hi <= numBits);
+        if (lo >= hi)
+            return 0;
+        const std::size_t first = lo >> 6;
+        const std::size_t last = (hi - 1) >> 6;
+        if (first == last) {
+            const std::uint64_t m =
+                highBitsFrom(lo & 63) & lowBits(((hi - 1) & 63) + 1);
+            return static_cast<std::size_t>(std::popcount(words[first] & m));
+        }
+        std::size_t total = static_cast<std::size_t>(
+            std::popcount(words[first] & highBitsFrom(lo & 63)));
+        for (std::size_t wi = first + 1; wi < last; ++wi)
+            total += static_cast<std::size_t>(std::popcount(words[wi]));
+        total += static_cast<std::size_t>(
+            std::popcount(words[last] & lowBits(((hi - 1) & 63) + 1)));
+        return total;
+    }
+
     /** True iff no bit is set. */
     bool
     none() const
@@ -134,13 +207,78 @@ class DynamicBitset
         return findFirstFrom(pos + 1);
     }
 
+    /**
+     * Invoke @p visitor(pos) for every set bit in ascending order. One
+     * linear pass over the words with countr_zero extraction — the fan
+     * -out loops (cache invalidations, hierarchical expansion) use this
+     * instead of a findFirst/findNext chain, which re-reads words from
+     * the start on every step.
+     */
+    template <typename Visitor>
+    void
+    forEachSetBit(Visitor &&visitor) const
+    {
+        const std::size_t n = words.size();
+        for (std::size_t wi = 0; wi < n; ++wi) {
+            std::uint64_t w = words[wi];
+            while (w != 0) {
+                const std::size_t pos =
+                    (wi << 6) +
+                    static_cast<std::size_t>(std::countr_zero(w));
+                if (pos >= numBits)
+                    return;
+                visitor(pos);
+                w &= w - 1; // clear the lowest set bit
+            }
+        }
+    }
+
+    /** Set every bit in [lo, hi) with word-masked fills. */
+    void
+    setRange(std::size_t lo, std::size_t hi)
+    {
+        assert(lo <= hi && hi <= numBits);
+        if (lo >= hi)
+            return;
+        const std::size_t first = lo >> 6;
+        const std::size_t last = (hi - 1) >> 6;
+        const std::uint64_t head = highBitsFrom(lo & 63);
+        const std::uint64_t tail = lowBits(((hi - 1) & 63) + 1);
+        if (first == last) {
+            words[first] |= head & tail;
+            return;
+        }
+        words[first] |= head;
+        for (std::size_t wi = first + 1; wi < last; ++wi)
+            words[wi] = ~std::uint64_t{0};
+        words[last] |= tail;
+    }
+
+    /** In-place union kernel. Sizes must match. */
+    void
+    orWith(const DynamicBitset &other)
+    {
+        assert(numBits == other.numBits);
+        const std::size_t n = words.size();
+        for (std::size_t i = 0; i < n; ++i)
+            words[i] |= other.words[i];
+    }
+
+    /** In-place intersection kernel. Sizes must match. */
+    void
+    andWith(const DynamicBitset &other)
+    {
+        assert(numBits == other.numBits);
+        const std::size_t n = words.size();
+        for (std::size_t i = 0; i < n; ++i)
+            words[i] &= other.words[i];
+    }
+
     /** In-place union. Sizes must match. */
     DynamicBitset &
     operator|=(const DynamicBitset &other)
     {
-        assert(numBits == other.numBits);
-        for (std::size_t i = 0; i < words.size(); ++i)
-            words[i] |= other.words[i];
+        orWith(other);
         return *this;
     }
 
@@ -148,9 +286,7 @@ class DynamicBitset
     DynamicBitset &
     operator&=(const DynamicBitset &other)
     {
-        assert(numBits == other.numBits);
-        for (std::size_t i = 0; i < words.size(); ++i)
-            words[i] &= other.words[i];
+        andWith(other);
         return *this;
     }
 
@@ -169,8 +305,15 @@ class DynamicBitset
                                      : ((std::uint64_t{1} << n) - 1));
     }
 
+    /** Mask with bits [n, 64) set. */
+    static std::uint64_t
+    highBitsFrom(unsigned n)
+    {
+        return ~lowBits(n);
+    }
+
     std::size_t numBits = 0;
-    std::vector<std::uint64_t> words;
+    WordVector words;
 };
 
 } // namespace cdir

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "common/bit_util.hh"
 #include "directory/registry.hh"
 
 namespace cdir {
@@ -33,26 +34,60 @@ AssocDirectory::AssocDirectory(std::size_t num_caches, unsigned num_ways,
       family(makeHashFamily(hash, num_ways, num_sets, hash_seed)),
       ways(num_ways),
       sets(num_sets),
-      slots(std::size_t{num_ways} * num_sets)
+      setMajor(hash == HashKind::Modulo),
+      tags(std::size_t{num_ways} * num_sets, 0),
+      valids(std::size_t{num_ways} * num_sets, 0),
+      lastUses(std::size_t{num_ways} * num_sets, 0),
+      reps(std::size_t{num_ways} * num_sets)
 {
-    prefillRepPool(fmt, slots.size());
+    assert(num_ways >= 1 && num_ways <= kMaxProbeWays);
+    prefillRepPool(fmt, tags.size());
 }
 
-AssocDirectory::Slot *
-AssocDirectory::findSlot(Tag tag)
+std::size_t
+AssocDirectory::findPosOf(Tag tag) const
 {
-    for (unsigned w = 0; w < ways; ++w) {
-        Slot &s = slot(w, family->index(w, tag));
-        if (s.valid && s.tag == tag)
-            return &s;
+    std::size_t idx[kMaxProbeWays];
+    family->indexAll(tag, idx);
+    return findPosWithIdx(tag, idx);
+}
+
+std::size_t
+AssocDirectory::findPosWithIdx(Tag tag, const std::size_t *idx) const
+{
+    if (setMajor) {
+        // All ways share the set: the candidates are one contiguous run,
+        // reduced by a single kernel call with no gather.
+        const std::size_t base = idx[0] * ways;
+        const std::size_t hit =
+            findTag(&tags[base], &valids[base], ways, tag);
+        return hit == ways ? npos : base + hit;
     }
-    return nullptr;
+    // Skewed ways: gather the scattered candidates, then reduce.
+    Tag cand[kMaxProbeWays];
+    std::uint8_t cvalid[kMaxProbeWays];
+    for (unsigned w = 0; w < ways; ++w) {
+        const std::size_t p = pos(w, idx[w]);
+        cand[w] = tags[p];
+        cvalid[w] = valids[p];
+    }
+    const std::size_t hit = findTag(cand, cvalid, ways, tag);
+    return hit == ways ? npos : pos(static_cast<unsigned>(hit), idx[hit]);
 }
 
-const AssocDirectory::Slot *
-AssocDirectory::findSlot(Tag tag) const
+void
+AssocDirectory::prefetchTag(Tag tag) const
 {
-    return const_cast<AssocDirectory *>(this)->findSlot(tag);
+    std::size_t idx[kMaxProbeWays];
+    family->indexAll(tag, idx);
+    if (setMajor) {
+        const std::size_t base = idx[0] * ways;
+        prefetchRead(&tags[base]);
+        prefetchRead(&valids[base]);
+        return;
+    }
+    for (unsigned w = 0; w < ways; ++w)
+        prefetchRead(&tags[pos(w, idx[w])]);
 }
 
 void
@@ -62,45 +97,64 @@ AssocDirectory::access(const DirRequest &request, DirAccessContext &ctx)
     ++statistics.lookups;
     ++useClock;
 
-    if (Slot *s = findSlot(request.tag)) {
+    std::size_t idx[kMaxProbeWays];
+    family->indexAll(request.tag, idx);
+
+    const std::size_t found = findPosWithIdx(request.tag, idx);
+    if (found != npos) {
         out.hit = true;
         ++statistics.hits;
-        s->lastUse = useClock;
-        updateEntryOnHit(*s->rep, request, ctx, out);
+        lastUses[found] = useClock;
+        updateEntryOnHit(*reps[found], request, ctx, out);
         return;
     }
 
     // Miss: pick a vacant candidate or evict the LRU candidate. This is
     // the set conflict the Cuckoo organization eliminates: the victim's
     // cached copies must be invalidated to keep the directory precise.
-    Slot *victim = nullptr;
-    for (unsigned w = 0; w < ways; ++w) {
-        Slot &s = slot(w, family->index(w, request.tag));
-        if (!s.valid) {
-            victim = &s;
-            break;
+    // The first vacant way wins; otherwise the strictly-smallest lastUse
+    // in way order — identical victim choice to the AoS walk.
+    std::size_t victim = npos;
+    if (setMajor) {
+        const std::size_t base = idx[0] * ways;
+        const std::size_t vacant = cdir::findVacant(&valids[base], ways);
+        if (vacant != ways) {
+            victim = base + vacant;
+        } else {
+            victim = base;
+            for (unsigned w = 1; w < ways; ++w)
+                if (lastUses[base + w] < lastUses[victim])
+                    victim = base + w;
         }
-        if (victim == nullptr || s.lastUse < victim->lastUse)
-            victim = &s;
+    } else {
+        for (unsigned w = 0; w < ways; ++w) {
+            const std::size_t p = pos(w, idx[w]);
+            if (valids[p] == 0) {
+                victim = p;
+                break;
+            }
+            if (victim == npos || lastUses[p] < lastUses[victim])
+                victim = p;
+        }
     }
-    assert(victim != nullptr);
+    assert(victim != npos);
 
-    if (victim->valid) {
+    if (valids[victim] != 0) {
         EvictedEntry &evicted = ctx.appendEviction(out);
-        evicted.tag = victim->tag;
-        victim->rep->invalidationTargets(evicted.targets);
+        evicted.tag = tags[victim];
+        reps[victim]->invalidationTargets(evicted.targets);
         ++statistics.forcedEvictions;
         statistics.forcedBlockInvalidations += evicted.targets.count();
-        victim->rep->clear(); // reuse the evicted entry's rep in place
+        reps[victim]->clear(); // reuse the evicted entry's rep in place
     } else {
         ++occupied;
-        victim->rep = acquireRep(format);
+        reps[victim] = acquireRep(format);
     }
 
-    victim->tag = request.tag;
-    victim->rep->add(request.cache);
-    victim->valid = true;
-    victim->lastUse = useClock;
+    tags[victim] = request.tag;
+    reps[victim]->add(request.cache);
+    valids[victim] = 1;
+    lastUses[victim] = useClock;
 
     out.inserted = true;
     out.attempts = 1;
@@ -112,25 +166,26 @@ AssocDirectory::access(const DirRequest &request, DirAccessContext &ctx)
 void
 AssocDirectory::removeSharer(Tag tag, CacheId cache)
 {
-    if (Slot *s = findSlot(tag)) {
-        ++statistics.sharerRemovals;
-        if (s->rep->remove(cache)) {
-            s->valid = false;
-            recycleRep(std::move(s->rep));
-            --occupied;
-            ++statistics.entryFrees;
-        }
+    const std::size_t p = findPosOf(tag);
+    if (p == npos)
+        return;
+    ++statistics.sharerRemovals;
+    if (reps[p]->remove(cache)) {
+        valids[p] = 0;
+        recycleRep(std::move(reps[p]));
+        --occupied;
+        ++statistics.entryFrees;
     }
 }
 
 bool
 AssocDirectory::probe(Tag tag, DynamicBitset *sharers) const
 {
-    const Slot *s = findSlot(tag);
-    if (!s)
+    const std::size_t p = findPosOf(tag);
+    if (p == npos)
         return false;
     if (sharers)
-        s->rep->invalidationTargets(*sharers);
+        reps[p]->invalidationTargets(*sharers);
     return true;
 }
 

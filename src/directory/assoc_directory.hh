@@ -10,6 +10,15 @@
  * in indexing: Sparse uses the same low-order index bits for every way
  * (a conventional set), Skewed uses a different skewing function per
  * way, which breaks *direct* conflicts but not transitive ones (§4).
+ *
+ * Tags, valid bytes, LRU stamps, and sharer reps live in parallel SoA
+ * arrays, with the stride chosen per hash kind: Modulo indexing means
+ * every way probes the same set, so storage is set-major
+ * (pos = idx*ways + w) and one probe's candidates are a single
+ * contiguous run — eight 8B tags in one cache line instead of eight
+ * lines 8*sets bytes apart. Skewing/Strong indexing disperses the ways,
+ * so storage is way-major (pos = w*sets + idx) and probes gather the
+ * candidates before reducing them with the match-mask kernel.
  */
 
 #ifndef CDIR_DIRECTORY_ASSOC_DIRECTORY_HH
@@ -40,38 +49,39 @@ class AssocDirectory : public Directory
 
     void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
+    void prefetchTag(Tag tag) const override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
     std::size_t validEntries() const override { return occupied; }
-    std::size_t capacity() const override { return slots.size(); }
+    std::size_t capacity() const override { return tags.size(); }
     std::string name() const override;
 
   private:
-    struct Slot
-    {
-        Tag tag = 0;
-        std::unique_ptr<SharerRep> rep;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
+    static constexpr std::size_t npos = ~std::size_t{0};
 
-    Slot &slot(unsigned way, std::size_t index)
+    /** Flat position of candidate (way, index) under the layout. */
+    std::size_t
+    pos(unsigned way, std::size_t index) const
     {
-        return slots[std::size_t{way} * sets + index];
-    }
-    const Slot &slot(unsigned way, std::size_t index) const
-    {
-        return slots[std::size_t{way} * sets + index];
+        return setMajor ? index * ways + way : std::size_t{way} * sets + index;
     }
 
-    Slot *findSlot(Tag tag);
-    const Slot *findSlot(Tag tag) const;
+    /** Position of @p tag, or npos. */
+    std::size_t findPosOf(Tag tag) const;
+
+    /** findPosOf with the way indices already computed. */
+    std::size_t findPosWithIdx(Tag tag, const std::size_t *idx) const;
 
     SharerFormat format;
     HashKind hashKind;
     std::unique_ptr<HashFamily> family;
     unsigned ways;
     std::size_t sets;
-    std::vector<Slot> slots;
+    bool setMajor; //!< Modulo: candidates contiguous per set
+
+    std::vector<Tag> tags;                         //!< SoA tag lane
+    std::vector<std::uint8_t> valids;              //!< SoA valid lane
+    std::vector<std::uint64_t> lastUses;           //!< SoA LRU lane
+    std::vector<std::unique_ptr<SharerRep>> reps;  //!< SoA payload lane
     std::size_t occupied = 0;
     std::uint64_t useClock = 0;
 };

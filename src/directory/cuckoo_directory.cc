@@ -115,10 +115,15 @@ CuckooDirectory::access(const DirRequest &request, DirAccessContext &ctx)
 void
 CuckooDirectory::removeSharer(Tag tag, CacheId cache)
 {
-    if (Rep *rep = table.find(tag)) {
+    const std::size_t pos = table.findPos(tag);
+    if (pos != CuckooTable<Rep>::npos) {
         ++statistics.sharerRemovals;
-        if ((*rep)->remove(cache)) {
-            recycleRep(std::move(table.erase(tag).value()));
+        Rep &rep = table.payloadAt(pos);
+        if (rep->remove(cache)) {
+            // One probe serves both the removal and the free: erase at
+            // the position the lookup already found instead of
+            // re-probing all ways.
+            recycleRep(table.eraseAt(pos));
             ++statistics.entryFrees;
             // A freed slot is the opportunity to re-home a parked
             // overflow entry.

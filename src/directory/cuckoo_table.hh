@@ -22,6 +22,14 @@
  *  - To keep the ways uniformly utilized, each insertion starts at the
  *    way at which the previous insertion stopped.
  *
+ * Storage is structure-of-arrays: tags, valid bytes, and payloads live
+ * in three parallel vectors so a probe touches only the dense 8B/entry
+ * tag lane (plus 1B valid lane) instead of dragging payload bytes
+ * through the cache. A probe computes all way indices with one
+ * HashFamily::indexAll call, gathers the candidate tags, and reduces
+ * them with the branchless match-mask kernel — the software analogue of
+ * the parallel way comparators the paper's hardware fires.
+ *
  * The payload type only needs to be movable.
  */
 
@@ -34,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bit_util.hh"
 #include "common/types.hh"
 #include "hash/hash_family.hh"
 
@@ -44,6 +53,9 @@ template <typename Payload>
 class CuckooTable
 {
   public:
+    /** Sentinel position for "not found". */
+    static constexpr std::size_t npos = ~std::size_t{0};
+
     /** Result of an insert() call. */
     struct InsertResult
     {
@@ -70,25 +82,60 @@ class CuckooTable
           sets(family.setsPerWay()),
           maxAttempts(max_attempts),
           bucketSlots(bucket_slots),
-          slots(std::size_t{ways} * sets * bucket_slots)
+          tags(std::size_t{ways} * sets * bucket_slots, 0),
+          valids(std::size_t{ways} * sets * bucket_slots, 0),
+          payloads(std::size_t{ways} * sets * bucket_slots)
     {
         assert(ways >= 2 && "cuckoo displacement needs >= 2 ways");
+        assert(ways <= kMaxProbeWays);
         assert(max_attempts >= 1);
-        assert(bucket_slots >= 1);
+        assert(bucket_slots >= 1 && bucket_slots <= kKernelWidth);
+    }
+
+    /**
+     * Position of @p tag, or npos. One indexAll call, then the
+     * match-mask kernel over the gathered candidate tags (probe order
+     * way-major, bucket slots in order — identical to the scalar walk).
+     */
+    std::size_t
+    findPos(Tag tag) const
+    {
+        std::size_t idx[kMaxProbeWays];
+        hashes.indexAll(tag, idx);
+        if (bucketSlots == 1) {
+            // Common case (the paper's design): gather one candidate per
+            // way into a dense run and reduce with a single kernel call.
+            Tag cand[kMaxProbeWays];
+            std::uint8_t cvalid[kMaxProbeWays];
+            for (unsigned w = 0; w < ways; ++w) {
+                const std::size_t p = std::size_t{w} * sets + idx[w];
+                cand[w] = tags[p];
+                cvalid[w] = valids[p];
+            }
+            const std::size_t hit = findTag(cand, cvalid, ways, tag);
+            if (hit == ways)
+                return npos;
+            return std::size_t{hit} * sets + idx[hit];
+        }
+        // Bucketized variant: each (way, set) bucket is already a
+        // contiguous run; kernel-probe the runs in way order.
+        for (unsigned w = 0; w < ways; ++w) {
+            const std::size_t base =
+                (std::size_t{w} * sets + idx[w]) * bucketSlots;
+            const std::size_t b =
+                findTag(&tags[base], &valids[base], bucketSlots, tag);
+            if (b != bucketSlots)
+                return base + b;
+        }
+        return npos;
     }
 
     /** Find the payload for @p tag, or nullptr. */
     Payload *
     find(Tag tag)
     {
-        for (unsigned w = 0; w < ways; ++w) {
-            Slot *bucket = bucketAt(w, hashes.index(w, tag));
-            for (unsigned b = 0; b < bucketSlots; ++b) {
-                if (bucket[b].valid && bucket[b].tag == tag)
-                    return &bucket[b].payload;
-            }
-        }
-        return nullptr;
+        const std::size_t pos = findPos(tag);
+        return pos == npos ? nullptr : &payloads[pos];
     }
 
     /** @copydoc find */
@@ -96,6 +143,22 @@ class CuckooTable
     find(Tag tag) const
     {
         return const_cast<CuckooTable *>(this)->find(tag);
+    }
+
+    /** Payload stored at a position returned by findPos(). */
+    Payload &
+    payloadAt(std::size_t pos)
+    {
+        assert(pos < tags.size() && valids[pos] != 0);
+        return payloads[pos];
+    }
+
+    /** Tag stored at a position returned by findPos(). */
+    Tag
+    tagAt(std::size_t pos) const
+    {
+        assert(pos < tags.size() && valids[pos] != 0);
+        return tags[pos];
     }
 
     /**
@@ -111,9 +174,11 @@ class CuckooTable
         Tag cur_tag = tag;
         Payload cur_payload = std::move(payload);
         unsigned way = nextWay;
+        std::size_t idx[kMaxProbeWays];
 
         while (true) {
             ++result.attempts;
+            hashes.indexAll(cur_tag, idx);
 
             // The lookup preceding each (re-)insertion reveals vacant
             // candidate slots; placing into one ends the procedure. The
@@ -121,10 +186,11 @@ class CuckooTable
             // occupancy, placements rotate across the ways and keep
             // them uniformly utilized (§4.2).
             unsigned placed_way = 0;
-            if (Slot *vacant = findVacant(cur_tag, way, placed_way)) {
-                vacant->tag = cur_tag;
-                vacant->payload = std::move(cur_payload);
-                vacant->valid = true;
+            const std::size_t vacant = findVacantPos(idx, way, placed_way);
+            if (vacant != npos) {
+                tags[vacant] = cur_tag;
+                payloads[vacant] = std::move(cur_payload);
+                valids[vacant] = 1;
                 ++occupied;
                 nextWay = (placed_way + 1) % ways;
                 return result;
@@ -144,14 +210,28 @@ class CuckooTable
             // Displace an occupant of the current way's bucket and
             // continue with it in the next way. The rotor spreads
             // victim choice across bucket slots.
-            Slot *bucket = bucketAt(way, hashes.index(way, cur_tag));
-            Slot &victim = bucket[victimRotor % bucketSlots];
+            const std::size_t victim =
+                (std::size_t{way} * sets + idx[way]) * bucketSlots +
+                victimRotor % bucketSlots;
             ++victimRotor;
-            std::swap(cur_tag, victim.tag);
-            std::swap(cur_payload, victim.payload);
-            assert(victim.valid);
+            assert(valids[victim] != 0);
+            std::swap(cur_tag, tags[victim]);
+            std::swap(cur_payload, payloads[victim]);
             way = (way + 1) % ways;
         }
+    }
+
+    /**
+     * Remove the element at a position returned by findPos().
+     * @return the payload that occupied the slot.
+     */
+    Payload
+    eraseAt(std::size_t pos)
+    {
+        assert(pos < tags.size() && valids[pos] != 0);
+        valids[pos] = 0;
+        --occupied;
+        return std::move(payloads[pos]);
     }
 
     /**
@@ -161,24 +241,34 @@ class CuckooTable
     std::optional<Payload>
     erase(Tag tag)
     {
+        const std::size_t pos = findPos(tag);
+        if (pos == npos)
+            return std::nullopt;
+        return eraseAt(pos);
+    }
+
+    /**
+     * Hint the candidate tag/valid lanes of @p tag into the cache ahead
+     * of an upcoming probe (batch-window lookahead).
+     */
+    void
+    prefetch(Tag tag) const
+    {
+        std::size_t idx[kMaxProbeWays];
+        hashes.indexAll(tag, idx);
         for (unsigned w = 0; w < ways; ++w) {
-            Slot *bucket = bucketAt(w, hashes.index(w, tag));
-            for (unsigned b = 0; b < bucketSlots; ++b) {
-                if (bucket[b].valid && bucket[b].tag == tag) {
-                    bucket[b].valid = false;
-                    --occupied;
-                    return std::move(bucket[b].payload);
-                }
-            }
+            const std::size_t base =
+                (std::size_t{w} * sets + idx[w]) * bucketSlots;
+            prefetchRead(&tags[base]);
+            prefetchRead(&valids[base]);
         }
-        return std::nullopt;
     }
 
     /** Valid elements. */
     std::size_t size() const { return occupied; }
 
     /** Total slots. */
-    std::size_t capacity() const { return slots.size(); }
+    std::size_t capacity() const { return tags.size(); }
 
     /** Fraction of slots in use. */
     double
@@ -204,9 +294,10 @@ class CuckooTable
     void
     forEach(Visitor &&visitor) const
     {
-        for (const Slot &s : slots)
-            if (s.valid)
-                visitor(s.tag, s.payload);
+        const std::size_t n = tags.size();
+        for (std::size_t i = 0; i < n; ++i)
+            if (valids[i] != 0)
+                visitor(tags[i], payloads[i]);
     }
 
     /** Occupancy of one way (test support for uniform-way utilization). */
@@ -217,44 +308,34 @@ class CuckooTable
         std::size_t used = 0;
         const std::size_t per_way = sets * bucketSlots;
         for (std::size_t i = 0; i < per_way; ++i)
-            if (slots[std::size_t{way} * per_way + i].valid)
+            if (valids[std::size_t{way} * per_way + i] != 0)
                 ++used;
         return double(used) / double(per_way);
     }
 
   private:
-    struct Slot
-    {
-        Tag tag = 0;
-        Payload payload{};
-        bool valid = false;
-    };
-
-    /** First slot of bucket (way, index). */
-    Slot *
-    bucketAt(unsigned way, std::size_t index)
-    {
-        return &slots[(std::size_t{way} * sets + index) * bucketSlots];
-    }
-
     /**
-     * First vacant candidate slot of @p tag, scanning ways from
-     * @p start and wrapping; @p found_way receives the way chosen.
+     * Position of the first vacant candidate slot given precomputed way
+     * indices @p idx, scanning ways from @p start and wrapping;
+     * @p found_way receives the way chosen. Returns npos if every
+     * candidate is occupied.
      */
-    Slot *
-    findVacant(Tag tag, unsigned start, unsigned &found_way)
+    std::size_t
+    findVacantPos(const std::size_t *idx, unsigned start,
+                  unsigned &found_way) const
     {
         for (unsigned i = 0; i < ways; ++i) {
             const unsigned w = (start + i) % ways;
-            Slot *bucket = bucketAt(w, hashes.index(w, tag));
-            for (unsigned b = 0; b < bucketSlots; ++b) {
-                if (!bucket[b].valid) {
-                    found_way = w;
-                    return &bucket[b];
-                }
+            const std::size_t base =
+                (std::size_t{w} * sets + idx[w]) * bucketSlots;
+            const std::size_t b =
+                cdir::findVacant(&valids[base], bucketSlots);
+            if (b != bucketSlots) {
+                found_way = w;
+                return base + b;
             }
         }
-        return nullptr;
+        return npos;
     }
 
     const HashFamily &hashes;
@@ -262,7 +343,9 @@ class CuckooTable
     std::size_t sets;
     unsigned maxAttempts;
     unsigned bucketSlots;
-    std::vector<Slot> slots;
+    std::vector<Tag> tags;           //!< SoA tag lane (8B/entry)
+    std::vector<std::uint8_t> valids; //!< SoA valid lane (1B/entry)
+    std::vector<Payload> payloads;   //!< SoA payload lane
     std::size_t occupied = 0;
     unsigned nextWay = 0;     //!< round-robin start way (§4.2)
     unsigned victimRotor = 0; //!< bucket-slot victim rotation

@@ -1,17 +1,37 @@
 #include "directory/directory.hh"
 
+#include <cstdlib>
+
 #include "directory/registry.hh"
 
 namespace cdir {
+
+unsigned
+Directory::prefetchDistance()
+{
+    static const unsigned distance = [] {
+        if (const char *env = std::getenv("CDIR_PREFETCH_DIST"))
+            return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        return 8u;
+    }();
+    return distance;
+}
 
 void
 Directory::accessBatch(std::span<const DirRequest> requests,
                        DirAccessContext &ctx)
 {
-    // Scalar fallback: organizations that exploit batch locality
-    // (sorting by set, software pipelining) override this.
-    for (const DirRequest &request : requests)
-        access(request, ctx);
+    // Walk the span in order, hinting the tag lanes of the request
+    // `dist` slots ahead so the probe's candidate lines are (likely)
+    // resident by the time access() reaches them. prefetchTag() is
+    // side-effect free, so outcomes are identical to the plain loop.
+    const std::size_t dist = prefetchDistance();
+    const std::size_t n = requests.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (dist != 0 && i + dist < n)
+            prefetchTag(requests[i + dist].tag);
+        access(requests[i], ctx);
+    }
 }
 
 std::unique_ptr<SharerRep>

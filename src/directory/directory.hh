@@ -124,11 +124,29 @@ class Directory
 
     /**
      * Handle a span of requests in order, accumulating one outcome per
-     * request into @p ctx. The default implementation is a scalar loop;
-     * organizations may override it to exploit batch locality.
+     * request into @p ctx. The default implementation walks the span in
+     * order and software-prefetches the tag lanes of the request
+     * prefetchDistance() slots ahead (see prefetchTag()); organizations
+     * may override it to exploit batch locality further.
      */
     virtual void accessBatch(std::span<const DirRequest> requests,
                              DirAccessContext &ctx);
+
+    /**
+     * Hint the storage a probe of @p tag will touch into the cache.
+     * Pure performance hint — must have no observable side effects.
+     * The default is a no-op; organizations with SoA tag lanes override
+     * it so accessBatch() can hide probe latency across the batch
+     * window.
+     */
+    virtual void prefetchTag(Tag tag) const { (void)tag; }
+
+    /**
+     * Lookahead (in requests) accessBatch() prefetches by. Seeded once
+     * from the CDIR_PREFETCH_DIST environment variable (default 8; 0
+     * disables prefetching).
+     */
+    static unsigned prefetchDistance();
 
     /** Private cache @p cache evicted block @p tag. */
     virtual void removeSharer(Tag tag, CacheId cache) = 0;

@@ -26,7 +26,57 @@ DuplicateTagDirectory::DuplicateTagDirectory(std::size_t num_caches,
     assert(isPowerOfTwo(num_sets));
     assert(cache_assoc >= 1);
     indexMask = num_sets - 1;
-    frames.resize(num_sets * num_caches * cache_assoc);
+    const std::size_t total = num_sets * num_caches * cache_assoc;
+    tags.assign(total, 0);
+    valids.assign(total, 0);
+    lastUses.assign(total, 0);
+}
+
+void
+DuplicateTagDirectory::collectHolders(std::size_t set, Tag tag,
+                                      DynamicBitset &holders) const
+{
+    const std::size_t base = regionBase(set, 0);
+    const std::size_t width = std::size_t{caches} * cacheAssoc;
+    if (forceScalarKernels()) {
+        // Scalar reference: per-cache early-exit walk, as the AoS code
+        // did.
+        for (CacheId c = 0; c < caches; ++c) {
+            const std::size_t rb = regionBase(set, c);
+            for (unsigned w = 0; w < cacheAssoc; ++w) {
+                if (valids[rb + w] != 0 && tags[rb + w] == tag) {
+                    holders.set(c);
+                    break;
+                }
+            }
+        }
+        return;
+    }
+    // Kernel path: the whole set is one contiguous run; reduce it in
+    // 64-frame chunks and map each match bit back to its cache id.
+    for (std::size_t chunk = 0; chunk < width; chunk += kKernelWidth) {
+        const std::size_t n = std::min(kKernelWidth, width - chunk);
+        std::uint64_t mask =
+            tagMatchMask(&tags[base + chunk], &valids[base + chunk], n, tag);
+        while (mask != 0) {
+            const auto bit =
+                static_cast<std::size_t>(std::countr_zero(mask));
+            holders.set((chunk + bit) / cacheAssoc);
+            mask &= mask - 1;
+        }
+    }
+}
+
+void
+DuplicateTagDirectory::prefetchTag(Tag tag) const
+{
+    // Hint the whole set run (caches x assoc tags, 8B each), one cache
+    // line per step.
+    const std::size_t base = regionBase(setIndex(tag), 0);
+    const std::size_t width = std::size_t{caches} * cacheAssoc;
+    for (std::size_t i = 0; i < width; i += 8)
+        prefetchRead(&tags[base + i]);
+    prefetchRead(&valids[base]);
 }
 
 void
@@ -42,15 +92,7 @@ DuplicateTagDirectory::access(const DirRequest &request,
     // Wide associative compare: find every cache holding the tag.
     DynamicBitset &holders = scratchHolders;
     holders.clear();
-    for (CacheId c = 0; c < caches; ++c) {
-        const Frame *r = region(set, c);
-        for (unsigned w = 0; w < cacheAssoc; ++w) {
-            if (r[w].valid && r[w].tag == tag) {
-                holders.set(c);
-                break;
-            }
-        }
-    }
+    collectHolders(set, tag, holders);
 
     if (holders.any()) {
         out.hit = true;
@@ -67,46 +109,49 @@ DuplicateTagDirectory::access(const DirRequest &request,
             ++statistics.writeUpgrades;
             // The invalidated caches' mirrored tags are cleared: the
             // duplicate tags always reflect the private caches.
-            for (std::size_t c = targets.findFirst(); c < targets.size();
-                 c = targets.findNext(c)) {
-                Frame *r = region(set, static_cast<CacheId>(c));
+            targets.forEachSetBit([&](std::size_t c) {
+                const std::size_t rb =
+                    regionBase(set, static_cast<CacheId>(c));
                 for (unsigned w = 0; w < cacheAssoc; ++w) {
-                    if (r[w].valid && r[w].tag == tag) {
-                        r[w].valid = false;
+                    if (valids[rb + w] != 0 && tags[rb + w] == tag) {
+                        valids[rb + w] = 0;
                         --occupied;
                     }
                 }
-            }
+            });
         }
     }
 
     // Mirror the requester's allocation unless it already holds the tag
     // (a write upgrade of a Shared copy).
     if (!holders.test(request.cache)) {
-        Frame *r = region(set, request.cache);
-        Frame *dest = nullptr;
+        const std::size_t rb = regionBase(set, request.cache);
+        std::size_t dest = rb;
+        bool destValid = valids[rb] != 0;
         for (unsigned w = 0; w < cacheAssoc; ++w) {
-            if (!r[w].valid) {
-                dest = &r[w];
+            if (valids[rb + w] == 0) {
+                dest = rb + w;
+                destValid = false;
                 break;
             }
-            if (dest == nullptr || r[w].lastUse < dest->lastUse)
-                dest = &r[w];
+            if (lastUses[rb + w] < lastUses[dest]) {
+                dest = rb + w;
+                destValid = true;
+            }
         }
-        assert(dest != nullptr);
-        if (dest->valid) {
+        if (destValid) {
             // Only reachable if the caller failed to report the cache's
             // own eviction first; mirror the cache by evicting LRU.
             EvictedEntry &evicted = ctx.appendEviction(out);
-            evicted.tag = dest->tag;
+            evicted.tag = tags[dest];
             evicted.targets.set(request.cache);
             ++statistics.forcedEvictions;
             ++statistics.forcedBlockInvalidations;
             --occupied;
         }
-        dest->tag = tag;
-        dest->valid = true;
-        dest->lastUse = useClock;
+        tags[dest] = tag;
+        valids[dest] = 1;
+        lastUses[dest] = useClock;
         ++occupied;
 
         out.attempts = 1;
@@ -127,14 +172,12 @@ void
 DuplicateTagDirectory::removeSharer(Tag tag, CacheId cache)
 {
     assert(cache < caches);
-    Frame *r = region(setIndex(tag), cache);
-    for (unsigned w = 0; w < cacheAssoc; ++w) {
-        if (r[w].valid && r[w].tag == tag) {
-            r[w].valid = false;
-            --occupied;
-            ++statistics.sharerRemovals;
-            return;
-        }
+    const std::size_t rb = regionBase(setIndex(tag), cache);
+    const std::size_t w = findTag(&tags[rb], &valids[rb], cacheAssoc, tag);
+    if (w != cacheAssoc) {
+        valids[rb + w] = 0;
+        --occupied;
+        ++statistics.sharerRemovals;
     }
 }
 
@@ -142,21 +185,21 @@ bool
 DuplicateTagDirectory::probe(Tag tag, DynamicBitset *sharers) const
 {
     const std::size_t set = setIndex(tag);
-    bool found = false;
-    if (sharers)
+    if (sharers) {
         sharers->reinit(caches);
-    for (CacheId c = 0; c < caches; ++c) {
-        const Frame *r = region(set, c);
-        for (unsigned w = 0; w < cacheAssoc; ++w) {
-            if (r[w].valid && r[w].tag == tag) {
-                found = true;
-                if (sharers)
-                    sharers->set(c);
-                break;
-            }
-        }
+        collectHolders(set, tag, *sharers);
+        return sharers->any();
     }
-    return found;
+    // Existence-only probe: scan the contiguous set run, stopping at the
+    // first matching chunk.
+    const std::size_t base = regionBase(set, 0);
+    const std::size_t width = std::size_t{caches} * cacheAssoc;
+    for (std::size_t chunk = 0; chunk < width; chunk += kKernelWidth) {
+        const std::size_t n = std::min(kKernelWidth, width - chunk);
+        if (findTag(&tags[base + chunk], &valids[base + chunk], n, tag) != n)
+            return true;
+    }
+    return false;
 }
 
 std::string

@@ -13,6 +13,12 @@
  * interleaved slices, slice tags are block addresses shifted right by
  * log2(S), and the slice's set count is cacheSets / S so the low tag
  * bits reproduce the cache set index exactly.
+ *
+ * Frames are stored structure-of-arrays: a set's caches x assoc tags
+ * are one contiguous 8B-per-entry run, so the wide associative compare
+ * reduces the whole set with the branchless match-mask kernel in
+ * 64-frame chunks — the software analogue of the massively parallel
+ * comparator bank the organization implies in hardware.
  */
 
 #ifndef CDIR_DIRECTORY_DUPLICATE_TAG_DIRECTORY_HH
@@ -38,9 +44,10 @@ class DuplicateTagDirectory : public Directory
 
     void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
+    void prefetchTag(Tag tag) const override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
     std::size_t validEntries() const override { return occupied; }
-    std::size_t capacity() const override { return frames.size(); }
+    std::size_t capacity() const override { return tags.size(); }
     std::string name() const override;
 
     /** Directory associativity: caches x cache ways (§3.1). */
@@ -50,29 +57,27 @@ class DuplicateTagDirectory : public Directory
     }
 
   private:
-    struct Frame
-    {
-        Tag tag = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
-
     std::size_t setIndex(Tag tag) const { return tag & indexMask; }
 
-    /** Frames of @p cache's region within @p set. */
-    Frame *region(std::size_t set, CacheId cache)
+    /** Flat index of the first frame of @p cache's region in @p set. */
+    std::size_t regionBase(std::size_t set, CacheId cache) const
     {
-        return &frames[(set * caches + cache) * cacheAssoc];
+        return (set * caches + cache) * cacheAssoc;
     }
-    const Frame *region(std::size_t set, CacheId cache) const
-    {
-        return &frames[(set * caches + cache) * cacheAssoc];
-    }
+
+    /**
+     * Wide associative compare over one set: sets bit c of @p holders
+     * for every cache with a valid frame matching @p tag.
+     */
+    void collectHolders(std::size_t set, Tag tag,
+                        DynamicBitset &holders) const;
 
     std::size_t sets;
     unsigned cacheAssoc;
     std::size_t indexMask;
-    std::vector<Frame> frames; //!< sets x caches x cacheAssoc
+    std::vector<Tag> tags;               //!< SoA tag lane
+    std::vector<std::uint8_t> valids;    //!< SoA valid lane
+    std::vector<std::uint64_t> lastUses; //!< SoA LRU lane
     std::size_t occupied = 0;
     std::uint64_t useClock = 0;
     DynamicBitset scratchHolders; //!< per-access wide-compare result

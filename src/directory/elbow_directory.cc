@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "common/bit_util.hh"
 #include "directory/registry.hh"
 
 namespace cdir {
@@ -23,26 +24,38 @@ ElbowDirectory::ElbowDirectory(std::size_t num_caches, unsigned num_ways,
                             hash_seed)),
       ways(num_ways),
       sets(num_sets),
-      slots(std::size_t{num_ways} * num_sets)
+      tags(std::size_t{num_ways} * num_sets, 0),
+      valids(std::size_t{num_ways} * num_sets, 0),
+      lastUses(std::size_t{num_ways} * num_sets, 0),
+      reps(std::size_t{num_ways} * num_sets)
 {
-    prefillRepPool(fmt, slots.size());
+    assert(num_ways >= 1 && num_ways <= kMaxProbeWays);
+    prefillRepPool(fmt, tags.size());
 }
 
-ElbowDirectory::Slot *
-ElbowDirectory::findSlot(Tag tag)
+std::size_t
+ElbowDirectory::findPosOf(Tag tag) const
 {
+    std::size_t idx[kMaxProbeWays];
+    family->indexAll(tag, idx);
+    Tag cand[kMaxProbeWays];
+    std::uint8_t cvalid[kMaxProbeWays];
     for (unsigned w = 0; w < ways; ++w) {
-        Slot &s = slot(w, family->index(w, tag));
-        if (s.valid && s.tag == tag)
-            return &s;
+        const std::size_t p = pos(w, idx[w]);
+        cand[w] = tags[p];
+        cvalid[w] = valids[p];
     }
-    return nullptr;
+    const std::size_t hit = findTag(cand, cvalid, ways, tag);
+    return hit == ways ? npos : pos(static_cast<unsigned>(hit), idx[hit]);
 }
 
-const ElbowDirectory::Slot *
-ElbowDirectory::findSlot(Tag tag) const
+void
+ElbowDirectory::prefetchTag(Tag tag) const
 {
-    return const_cast<ElbowDirectory *>(this)->findSlot(tag);
+    std::size_t idx[kMaxProbeWays];
+    family->indexAll(tag, idx);
+    for (unsigned w = 0; w < ways; ++w)
+        prefetchRead(&tags[pos(w, idx[w])]);
 }
 
 void
@@ -52,40 +65,59 @@ ElbowDirectory::access(const DirRequest &request, DirAccessContext &ctx)
     ++statistics.lookups;
     ++useClock;
 
-    if (Slot *s = findSlot(request.tag)) {
-        out.hit = true;
-        ++statistics.hits;
-        s->lastUse = useClock;
-        updateEntryOnHit(*s->rep, request, ctx, out);
-        return;
+    std::size_t idx[kMaxProbeWays];
+    family->indexAll(request.tag, idx);
+
+    {
+        Tag cand[kMaxProbeWays];
+        std::uint8_t cvalid[kMaxProbeWays];
+        for (unsigned w = 0; w < ways; ++w) {
+            const std::size_t p = pos(w, idx[w]);
+            cand[w] = tags[p];
+            cvalid[w] = valids[p];
+        }
+        const std::size_t hit = findTag(cand, cvalid, ways, request.tag);
+        if (hit != ways) {
+            const std::size_t p =
+                pos(static_cast<unsigned>(hit), idx[hit]);
+            out.hit = true;
+            ++statistics.hits;
+            lastUses[p] = useClock;
+            updateEntryOnHit(*reps[p], request, ctx, out);
+            return;
+        }
     }
 
     // Miss: take a vacant candidate if one exists.
-    Slot *dest = nullptr;
+    std::size_t dest = npos;
     unsigned attempts = 1;
     for (unsigned w = 0; w < ways; ++w) {
-        Slot &s = slot(w, family->index(w, request.tag));
-        if (!s.valid) {
-            dest = &s;
+        const std::size_t p = pos(w, idx[w]);
+        if (valids[p] == 0) {
+            dest = p;
             break;
         }
     }
 
-    if (dest == nullptr) {
+    if (dest == npos) {
         // One elbow move: relocate the first candidate occupant whose
         // alternate slot in another way is vacant (requires the extra
         // candidate lookups the paper charges this design for).
-        for (unsigned w = 0; w < ways && dest == nullptr; ++w) {
-            Slot &occupant = slot(w, family->index(w, request.tag));
+        std::size_t altIdx[kMaxProbeWays];
+        for (unsigned w = 0; w < ways && dest == npos; ++w) {
+            const std::size_t occ = pos(w, idx[w]);
+            family->indexAll(tags[occ], altIdx);
             for (unsigned alt = 0; alt < ways; ++alt) {
                 if (alt == w)
                     continue;
-                Slot &target =
-                    slot(alt, family->index(alt, occupant.tag));
-                if (!target.valid) {
-                    target = std::move(occupant);
-                    occupant.valid = false;
-                    dest = &occupant;
+                const std::size_t target = pos(alt, altIdx[alt]);
+                if (valids[target] == 0) {
+                    tags[target] = tags[occ];
+                    reps[target] = std::move(reps[occ]);
+                    lastUses[target] = lastUses[occ];
+                    valids[target] = 1;
+                    valids[occ] = 0;
+                    dest = occ;
                     ++relocated;
                     attempts = 2; // the relocation write
                     break;
@@ -94,32 +126,32 @@ ElbowDirectory::access(const DirRequest &request, DirAccessContext &ctx)
         }
     }
 
-    if (dest == nullptr) {
+    if (dest == npos) {
         // No single-hop relocation possible: evict the LRU candidate.
-        Slot *victim = nullptr;
+        std::size_t victim = npos;
         for (unsigned w = 0; w < ways; ++w) {
-            Slot &s = slot(w, family->index(w, request.tag));
-            if (victim == nullptr || s.lastUse < victim->lastUse)
-                victim = &s;
+            const std::size_t p = pos(w, idx[w]);
+            if (victim == npos || lastUses[p] < lastUses[victim])
+                victim = p;
         }
-        assert(victim != nullptr && victim->valid);
+        assert(victim != npos && valids[victim] != 0);
         EvictedEntry &evicted = ctx.appendEviction(out);
-        evicted.tag = victim->tag;
-        victim->rep->invalidationTargets(evicted.targets);
+        evicted.tag = tags[victim];
+        reps[victim]->invalidationTargets(evicted.targets);
         ++statistics.forcedEvictions;
         statistics.forcedBlockInvalidations += evicted.targets.count();
-        victim->valid = false;
-        victim->rep->clear(); // reuse the evicted entry's rep in place
+        valids[victim] = 0;
+        reps[victim]->clear(); // reuse the evicted entry's rep in place
         --occupied;
         dest = victim;
     }
 
-    dest->tag = request.tag;
-    if (!dest->rep)
-        dest->rep = acquireRep(format);
-    dest->rep->add(request.cache);
-    dest->valid = true;
-    dest->lastUse = useClock;
+    tags[dest] = request.tag;
+    if (!reps[dest])
+        reps[dest] = acquireRep(format);
+    reps[dest]->add(request.cache);
+    valids[dest] = 1;
+    lastUses[dest] = useClock;
     ++occupied;
 
     out.inserted = true;
@@ -132,25 +164,26 @@ ElbowDirectory::access(const DirRequest &request, DirAccessContext &ctx)
 void
 ElbowDirectory::removeSharer(Tag tag, CacheId cache)
 {
-    if (Slot *s = findSlot(tag)) {
-        ++statistics.sharerRemovals;
-        if (s->rep->remove(cache)) {
-            s->valid = false;
-            recycleRep(std::move(s->rep));
-            --occupied;
-            ++statistics.entryFrees;
-        }
+    const std::size_t p = findPosOf(tag);
+    if (p == npos)
+        return;
+    ++statistics.sharerRemovals;
+    if (reps[p]->remove(cache)) {
+        valids[p] = 0;
+        recycleRep(std::move(reps[p]));
+        --occupied;
+        ++statistics.entryFrees;
     }
 }
 
 bool
 ElbowDirectory::probe(Tag tag, DynamicBitset *sharers) const
 {
-    const Slot *s = findSlot(tag);
-    if (!s)
+    const std::size_t p = findPosOf(tag);
+    if (p == npos)
         return false;
     if (sharers)
-        s->rep->invalidationTargets(*sharers);
+        reps[p]->invalidationTargets(*sharers);
     return true;
 }
 

@@ -14,6 +14,11 @@
  * to choose its victim (energy), yet still experiences more forced
  * invalidations than the unbounded-displacement Cuckoo directory. The
  * ablation bench quantifies exactly that gap.
+ *
+ * Storage is structure-of-arrays, way-major (skewed indexing disperses
+ * the ways, so there is no contiguous set run): probes compute every
+ * way index with one indexAll call, gather the candidate tags, and
+ * reduce them with the branchless match-mask kernel.
  */
 
 #ifndef CDIR_DIRECTORY_ELBOW_DIRECTORY_HH
@@ -43,35 +48,37 @@ class ElbowDirectory : public Directory
 
     void access(const DirRequest &request, DirAccessContext &ctx) override;
     void removeSharer(Tag tag, CacheId cache) override;
+    void prefetchTag(Tag tag) const override;
     bool probe(Tag tag, DynamicBitset *sharers = nullptr) const override;
     std::size_t validEntries() const override { return occupied; }
-    std::size_t capacity() const override { return slots.size(); }
+    std::size_t capacity() const override { return tags.size(); }
     std::string name() const override;
 
     /** Insertions resolved by a single relocation (no eviction). */
     std::uint64_t relocations() const { return relocated; }
 
   private:
-    struct Slot
-    {
-        Tag tag = 0;
-        std::unique_ptr<SharerRep> rep;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
+    static constexpr std::size_t npos = ~std::size_t{0};
 
-    Slot &slot(unsigned way, std::size_t index)
+    /** Flat position of candidate (way, index) — way-major. */
+    std::size_t
+    pos(unsigned way, std::size_t index) const
     {
-        return slots[std::size_t{way} * sets + index];
+        return std::size_t{way} * sets + index;
     }
-    Slot *findSlot(Tag tag);
-    const Slot *findSlot(Tag tag) const;
+
+    /** Position of @p tag, or npos. */
+    std::size_t findPosOf(Tag tag) const;
 
     SharerFormat format;
     std::unique_ptr<HashFamily> family;
     unsigned ways;
     std::size_t sets;
-    std::vector<Slot> slots;
+
+    std::vector<Tag> tags;                         //!< SoA tag lane
+    std::vector<std::uint8_t> valids;              //!< SoA valid lane
+    std::vector<std::uint64_t> lastUses;           //!< SoA LRU lane
+    std::vector<std::unique_ptr<SharerRep>> reps;  //!< SoA payload lane
     std::size_t occupied = 0;
     std::uint64_t useClock = 0;
     std::uint64_t relocated = 0;

@@ -243,15 +243,14 @@ TaglessDirectory::access(const DirRequest &request, DirAccessContext &ctx)
             ++statistics.writeUpgrades;
             // Acks reveal the true holders; clear their filter state.
             if (tracked) {
-                for (std::size_t c = targets.findFirst();
-                     c < targets.size(); c = targets.findNext(c)) {
+                targets.forEachSetBit([&](std::size_t c) {
                     if (truth->test(c)) {
                         filterRemove(tag, static_cast<CacheId>(c));
                         truth->reset(c);
                     } else {
                         ++spurious;
                     }
-                }
+                });
             } else {
                 spurious += targets.count();
             }

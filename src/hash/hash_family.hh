@@ -19,6 +19,12 @@
 
 namespace cdir {
 
+/**
+ * Upper bound on ways a probe loop must handle; way-match masks fit in
+ * one uint64_t and callers size their per-probe index scratch with it.
+ */
+inline constexpr unsigned kMaxProbeWays = 64;
+
 /** Family of per-way hash functions over block tags. */
 class HashFamily
 {
@@ -39,6 +45,24 @@ class HashFamily
      * @return index in [0, setsPerWay()).
      */
     virtual std::size_t index(unsigned way, Tag tag) const = 0;
+
+    /**
+     * Index @p tag through *every* member function in one call:
+     * out[w] = index(w, tag) for w in [0, numWays()).
+     *
+     * The directory probe loops call this once per lookup instead of
+     * one virtual call per way; families override it to share work
+     * across ways (the skewing family applies its LFSR step
+     * incrementally, turning an O(ways^2) recomputation into O(ways)).
+     * @p out must have room for numWays() entries.
+     */
+    virtual void
+    indexAll(Tag tag, std::size_t *out) const
+    {
+        const unsigned n = numWays();
+        for (unsigned w = 0; w < n; ++w)
+            out[w] = index(w, tag);
+    }
 };
 
 /** Which family implementation a directory should use. */

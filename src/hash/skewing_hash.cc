@@ -73,4 +73,22 @@ SkewingHashFamily::index(unsigned way, Tag tag) const
     return static_cast<std::size_t>((a1 ^ a2 ^ a3) & lowMask(indexBits));
 }
 
+void
+SkewingHashFamily::indexAll(Tag tag, std::size_t *out) const
+{
+    // f_w = sigma^w(a1) ^ sigmaInv^w(a2) ^ a3: step the bijections once
+    // per way instead of recomputing each power from scratch, so the
+    // whole probe pays O(ways) LFSR steps and one virtual call.
+    std::uint64_t a1 = extractBits(tag, 0, indexBits);
+    std::uint64_t a2 = extractBits(tag, indexBits, indexBits);
+    const std::uint64_t a3 = extractBits(tag, 2 * indexBits, indexBits);
+    const std::uint64_t mask = lowMask(indexBits);
+    out[0] = static_cast<std::size_t>((a1 ^ a2 ^ a3) & mask);
+    for (unsigned w = 1; w < ways; ++w) {
+        a1 = sigma(a1);
+        a2 = sigmaInv(a2);
+        out[w] = static_cast<std::size_t>((a1 ^ a2 ^ a3) & mask);
+    }
+}
+
 } // namespace cdir

@@ -35,6 +35,7 @@ class SkewingHashFamily : public HashFamily
     unsigned numWays() const override { return ways; }
     std::size_t setsPerWay() const override { return sets; }
     std::size_t index(unsigned way, Tag tag) const override;
+    void indexAll(Tag tag, std::size_t *out) const override;
 
   private:
     /** One Galois-LFSR step on an indexBits-wide value (bijective). */

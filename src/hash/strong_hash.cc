@@ -40,6 +40,16 @@ StrongHashFamily::index(unsigned way, Tag tag) const
     return static_cast<std::size_t>(mix(tag * keys[way] + way) & mask);
 }
 
+void
+StrongHashFamily::indexAll(Tag tag, std::size_t *out) const
+{
+    // One pass over the key table: the multiply/mix chain per way is
+    // independent, so the compiler can pipeline (or vectorize) across
+    // ways; one virtual call replaces numWays() of them.
+    for (unsigned w = 0; w < ways; ++w)
+        out[w] = static_cast<std::size_t>(mix(tag * keys[w] + w) & mask);
+}
+
 ModuloHashFamily::ModuloHashFamily(unsigned num_ways,
                                    std::size_t sets_per_way)
     : ways(num_ways), sets(sets_per_way)
@@ -54,6 +64,15 @@ ModuloHashFamily::index(unsigned way, Tag tag) const
     assert(way < ways);
     (void)way;
     return static_cast<std::size_t>(tag & mask);
+}
+
+void
+ModuloHashFamily::indexAll(Tag tag, std::size_t *out) const
+{
+    // Every way shares the set index: compute once, broadcast.
+    const auto idx = static_cast<std::size_t>(tag & mask);
+    for (unsigned w = 0; w < ways; ++w)
+        out[w] = idx;
 }
 
 } // namespace cdir

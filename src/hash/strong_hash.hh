@@ -35,6 +35,7 @@ class StrongHashFamily : public HashFamily
     unsigned numWays() const override { return ways; }
     std::size_t setsPerWay() const override { return sets; }
     std::size_t index(unsigned way, Tag tag) const override;
+    void indexAll(Tag tag, std::size_t *out) const override;
 
     /** The shared 64-bit mixer (exposed for tests). */
     static std::uint64_t mix(std::uint64_t v);
@@ -55,6 +56,7 @@ class ModuloHashFamily : public HashFamily
     unsigned numWays() const override { return ways; }
     std::size_t setsPerWay() const override { return sets; }
     std::size_t index(unsigned way, Tag tag) const override;
+    void indexAll(Tag tag, std::size_t *out) const override;
 
   private:
     unsigned ways;

@@ -87,14 +87,13 @@ MeshCostModel::farthestTarget(const DynamicBitset &targets,
 {
     std::uint64_t farthest = 0;
     any = false;
-    for (std::size_t c = targets.findFirst(); c < targets.size();
-         c = targets.findNext(c)) {
+    targets.forEachSetBit([&](std::size_t c) {
         if (c == requester)
-            continue;
+            return;
         any = true;
         farthest = std::max(
             farthest, hops(home, tileOfCache(static_cast<CacheId>(c))));
-    }
+    });
     return farthest;
 }
 

@@ -89,13 +89,12 @@ CoarseVectorRep::invalidationTargets(DynamicBitset &out) const
             out.set(p);
         return;
     }
-    for (std::size_t g = groups.findFirst(); g < groups.size();
-         g = groups.findNext(g)) {
+    groups.forEachSetBit([&](std::size_t g) {
+        // Expand each coarse group with one word-masked range fill.
         const std::size_t lo = g * cachesPerGroup;
         const std::size_t hi = std::min(lo + cachesPerGroup, numCaches);
-        for (std::size_t c = lo; c < hi; ++c)
-            out.set(c);
-    }
+        out.setRange(lo, hi);
+    });
 }
 
 void

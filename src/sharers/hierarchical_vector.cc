@@ -68,16 +68,14 @@ void
 HierarchicalVectorRep::invalidationTargets(DynamicBitset &out) const
 {
     out.reinit(numCaches);
-    for (std::size_t cl = root.findFirst(); cl < root.size();
-         cl = root.findNext(cl)) {
-        const auto &leaf = leaves[cl];
-        for (std::size_t w = leaf.findFirst(); w < leaf.size();
-             w = leaf.findNext(w)) {
-            const std::size_t cache = cl * cachesPerCluster + w;
+    root.forEachSetBit([&](std::size_t cl) {
+        const std::size_t base = cl * cachesPerCluster;
+        leaves[cl].forEachSetBit([&](std::size_t w) {
+            const std::size_t cache = base + w;
             if (cache < numCaches)
                 out.set(cache);
-        }
-    }
+        });
+    });
 }
 
 unsigned

@@ -278,13 +278,12 @@ CmpSystem::applyDirectoryOutcomes(std::size_t slice,
         if (out.hadSharerInvalidations) {
             const BlockAddr addr = addrOf(req.tag, slice);
             const DynamicBitset &targets = ctx.sharerInvalidations(out);
-            for (std::size_t c = targets.findFirst(); c < targets.size();
-                 c = targets.findNext(c)) {
+            targets.forEachSetBit([&](std::size_t c) {
                 if (c == req.cache)
-                    continue;
+                    return;
                 if (caches[c]->invalidate(addr))
                     ++counters.sharingInvalidations;
-            }
+            });
         }
 
         // Forced evictions (set conflicts / Cuckoo give-up): the evicted
@@ -293,12 +292,10 @@ CmpSystem::applyDirectoryOutcomes(std::size_t slice,
         for (std::size_t e = 0; e < out.evictionCount; ++e) {
             const EvictedEntry &evicted = ctx.forcedEviction(out, e);
             const BlockAddr block = addrOf(evicted.tag, slice);
-            for (std::size_t c = evicted.targets.findFirst();
-                 c < evicted.targets.size();
-                 c = evicted.targets.findNext(c)) {
+            evicted.targets.forEachSetBit([&](std::size_t c) {
                 if (caches[c]->invalidate(block))
                     ++counters.forcedInvalidations;
-            }
+            });
         }
     }
 }

@@ -267,7 +267,10 @@ ScenarioWorkload::ensurePhase()
 bool
 ScenarioWorkload::exhausted() const
 {
-    return !hasBuffered;
+    // A pending dry-out error keeps the stream "not exhausted": the
+    // next next() call must throw it rather than let the driver stop
+    // cleanly and mask the schedule shift.
+    return !hasBuffered && deferredError.empty();
 }
 
 const std::string &
@@ -315,14 +318,21 @@ ScenarioWorkload::fill()
         // phase early would silently shift every label and loop period
         // the schedule declares.
         if (phaseStream->exhausted()) {
-            if (phase.traceOffset != 0 || phase.traceCursor)
-                throw std::runtime_error(
+            if (phase.traceOffset != 0 || phase.traceCursor) {
+                // Don't throw here: fill() runs one record ahead, so a
+                // throw would swallow the record next() is about to
+                // hand out. Buffer the error; the following next()
+                // call throws it, after every available record of the
+                // window has been delivered.
+                deferredError =
                     "scenario '" + script.name + "' phase '" +
                     phase.label + "': windowed trace segment " +
                     phase.workload.tracePath + " ran dry after " +
                     std::to_string(emittedInPhase) + " of " +
                     std::to_string(phase.accesses) +
-                    " accesses — the declared schedule would shift");
+                    " accesses — the declared schedule would shift";
+                return;
+            }
             emittedInPhase = phase.accesses;
             continue;
         }
@@ -350,9 +360,12 @@ ScenarioWorkload::fill()
 MemAccess
 ScenarioWorkload::next()
 {
-    if (!hasBuffered)
+    if (!hasBuffered) {
+        if (!deferredError.empty())
+            throw std::runtime_error(deferredError);
         throw std::runtime_error("scenario '" + script.name +
                                  "' exhausted");
+    }
     const MemAccess result = buffered;
     fill();
     return result;

@@ -224,6 +224,15 @@ class ScenarioWorkload : public AccessSource
     bool hasBuffered = false;
     /** Phase the buffered access belongs to (its events are applied). */
     std::size_t bufferedPhase = 0;
+    /**
+     * Deferred dry-out error: when the one-record lookahead discovers a
+     * windowed trace segment ran dry, the failure is buffered here
+     * instead of thrown from fill(), so the record already buffered is
+     * still delivered; the *following* next() call throws. While the
+     * error is pending exhausted() stays false, keeping drivers calling
+     * next() so the failure is never silently swallowed.
+     */
+    std::string deferredError;
 };
 
 // --- scenario text format ----------------------------------------------------

@@ -12,6 +12,7 @@
 #ifndef CDIR_WORKLOAD_ZIPF_HH
 #define CDIR_WORKLOAD_ZIPF_HH
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -42,6 +43,24 @@ class ZipfSampler
         }
         for (auto &v : cdf)
             v /= total;
+
+        // Coarse index over u-space: bucketStart[b] is the first rank
+        // whose CDF value reaches b/K. A draw's answer (first rank with
+        // cdf >= u) then lies in [bucketStart[b], bucketStart[b+1]] for
+        // u's bucket b, so the binary search runs over a handful of
+        // ranks instead of the whole CDF — the answer is provably the
+        // same index, only found through fewer (cache-missing) probes.
+        indexBuckets = std::min<std::size_t>(4096, std::max<std::size_t>(64, n));
+        bucketStart.resize(indexBuckets + 1);
+        std::size_t rank = 0;
+        for (std::size_t b = 0; b < indexBuckets; ++b) {
+            const double threshold =
+                static_cast<double>(b) / static_cast<double>(indexBuckets);
+            while (rank < n - 1 && cdf[rank] < threshold)
+                ++rank;
+            bucketStart[b] = rank;
+        }
+        bucketStart[indexBuckets] = n - 1;
     }
 
     /** Draw one rank using @p rng. */
@@ -51,8 +70,13 @@ class ZipfSampler
         if (skew <= 0.0)
             return static_cast<std::size_t>(rng.below(items));
         const double u = rng.uniform();
-        // Binary search the CDF for the first bucket >= u.
-        std::size_t lo = 0, hi = cdf.size() - 1;
+        // Binary search the CDF for the first bucket >= u, with the
+        // bounds pre-narrowed by the coarse index (same first-true
+        // index as a full-range search).
+        const std::size_t b = std::min(
+            indexBuckets - 1,
+            static_cast<std::size_t>(u * static_cast<double>(indexBuckets)));
+        std::size_t lo = bucketStart[b], hi = bucketStart[b + 1];
         while (lo < hi) {
             const std::size_t mid = (lo + hi) / 2;
             if (cdf[mid] < u)
@@ -73,6 +97,8 @@ class ZipfSampler
     std::size_t items;
     double skew;
     std::vector<double> cdf;
+    std::size_t indexBuckets = 0;
+    std::vector<std::size_t> bucketStart; //!< coarse u-space index
 };
 
 } // namespace cdir

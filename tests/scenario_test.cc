@@ -347,9 +347,10 @@ TEST(ScenarioWindowedTrace, DryWindowedSegmentThrowsInsteadOfShifting)
     ScenarioWorkload wl(
         segmentScenario(path, /*accesses=*/40, /*offset=*/10, false));
     std::uint64_t emitted = 0;
+    std::vector<BlockAddr> delivered;
     try {
         while (!wl.exhausted()) {
-            wl.next();
+            delivered.push_back(wl.next().addr);
             ++emitted;
         }
         FAIL() << "dry windowed segment ended the phase silently";
@@ -358,12 +359,39 @@ TEST(ScenarioWindowedTrace, DryWindowedSegmentThrowsInsteadOfShifting)
                   std::string::npos)
             << e.what();
     }
-    // 19 of the 20 windowed records (30 - offset 10): the source keeps a
-    // one-record lookahead, so the final record is in flight — buffered —
-    // when fill() detects the dry segment and throws. The error aborts
-    // the whole run, so the in-flight record never mattering is fine;
-    // what the test pins is that the dry-out is *loud*, not silent.
-    EXPECT_EQ(emitted, 19u);
+    // All 20 windowed records (30 - offset 10) are delivered before the
+    // failure: the one-record lookahead *buffers* the dry-out error it
+    // discovers while the final record is still in flight, exhausted()
+    // stays false while the error is pending, and the following next()
+    // call throws. Losing the last record to the lookahead was a bug.
+    EXPECT_EQ(emitted, 20u);
+    ASSERT_EQ(delivered.size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(delivered[i], 0x100 + 10 + i) << "record " << i;
+    std::filesystem::remove(path);
+}
+
+TEST(ScenarioWindowedTrace, DryOutErrorIsDeferredNotSwallowed)
+{
+    // Regression: the deferred error must not make the stream look
+    // cleanly exhausted — a driver that politely checks exhausted()
+    // before every next() still has to hit the throw.
+    const std::string path =
+        writeSegmentTrace("cdir_scenario_dry_defer.trace", 12);
+    ScenarioWorkload wl(
+        segmentScenario(path, /*accesses=*/20, /*offset=*/4, /*cursor=*/false));
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        ASSERT_FALSE(wl.exhausted()) << "record " << i;
+        EXPECT_EQ(wl.next().addr, 0x100 + 4 + i) << "record " << i;
+    }
+    // Every record of the window is out; the pending error keeps the
+    // stream alive so the failure cannot be skipped...
+    EXPECT_FALSE(wl.exhausted());
+    EXPECT_THROW(wl.next(), std::runtime_error);
+    // ...and stays pending: a retry throws again rather than reporting
+    // a clean end.
+    EXPECT_FALSE(wl.exhausted());
+    EXPECT_THROW(wl.next(), std::runtime_error);
     std::filesystem::remove(path);
 }
 

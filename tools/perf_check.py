@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh perf-trajectory JSON against the
+committed baseline.
+
+    tools/perf_check.py <baseline.json> <fresh.json> [--max-regression=0.25]
+
+Both files are tools/perf_trajectory.sh outputs. Every end-to-end run
+present in both files is compared on accesses_per_sec; the check fails
+if any run's fresh rate falls below (1 - max_regression) x baseline.
+Only the end-to-end rates gate: the micro benchmarks are too narrow and
+too noisy on shared runners to be a hard threshold, and the end-to-end
+figure is the number the paper reproduction actually advertises.
+
+Wall-clock rates are runner-dependent; the threshold is deliberately
+loose (25% by default) so it catches real regressions — an accidental
+scalar fallback, a layout revert — without flaking on runner noise.
+"""
+
+import json
+import sys
+
+
+def endToEndRates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        run["name"]: float(run["accesses_per_sec"])
+        for run in doc["end_to_end"]["runs"]
+    }
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    max_regression = 0.25
+    for a in argv[1:]:
+        if a.startswith("--max-regression="):
+            max_regression = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline = endToEndRates(args[0])
+    fresh = endToEndRates(args[1])
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("perf_check: no common end-to-end runs", file=sys.stderr)
+        return 2
+
+    floor = 1.0 - max_regression
+    failed = False
+    for name in shared:
+        ratio = fresh[name] / baseline[name]
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(
+            f"perf_check: {name}: baseline {baseline[name]:,.0f} "
+            f"fresh {fresh[name]:,.0f} acc/s ({ratio:.2f}x) {verdict}"
+        )
+        failed = failed or ratio < floor
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
