@@ -43,13 +43,19 @@ struct RateRun
 {
     const char *name;
     const char *organization;
-    const char *costModel; //!< "" = untimed
+    const char *costModel;       //!< "" = untimed
+    std::size_t batchWindow = 1; //!< CmpConfig::batchWindow
 };
 
 constexpr RateRun kRuns[] = {
     {"Cuckoo/untimed", "Cuckoo", ""},
     {"Sparse/untimed", "Sparse", ""},
     {"Cuckoo/mesh", "Cuckoo", "mesh"},
+    // Batched staging leg: batchWindow >> 1 is the driver shape that
+    // exercises the batch-window software prefetch (CDIR_PREFETCH_DIST)
+    // and per-slice run batching — at window 1 that machinery is idle,
+    // so regressions in it were invisible to the committed numbers.
+    {"Cuckoo/batch64", "Cuckoo", "", 64},
 };
 
 DirectoryParams
@@ -99,8 +105,9 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(accesses), shards);
     bool first = true;
     for (const RateRun &run : kRuns) {
-        const CmpConfig config = paperConfigWith(
+        CmpConfig config = paperConfigWith(
             CmpConfigKind::SharedL2, organizationParams(run.organization));
+        config.batchWindow = run.batchWindow;
         WorkloadParams workload =
             paperWorkloadParams(PaperWorkload::OltpDb2, false,
                                 config.numCores);

@@ -37,6 +37,7 @@
 
 #include "directory/registry.hh"
 #include "model/cost_model.hh"
+#include "sim/campaign.hh"
 #include "sim_common.hh"
 #include "workload/scenario.hh"
 
@@ -136,7 +137,13 @@ main(int argc, char **argv)
     }
 
     const SweepRunner runner(cli.sweep());
-    const std::vector<SweepRecord> records = runner.run(spec);
+    // campaignRunMany honours --campaign-manifest / --campaign-results
+    // so this grid can run as a checkpointed multi-process campaign.
+    const std::vector<SweepRecord> records = std::move(
+        campaignRunMany(cli, runner,
+                        std::span<const SweepSpec>(&spec, 1),
+                        "ext_tail_latency")
+            .front());
 
     Reporter report(cli.format);
     report.note("tail latency: directory-access latency in cycles on "

@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "sim/campaign.hh"
 #include "sim_common.hh"
 
 using namespace cdir;
@@ -98,12 +99,14 @@ main(int argc, char **argv)
 
     // Both configurations' grids (the suite's largest: 72 cells) run as
     // one flattened cell pool, so --jobs parallelism never drains while
-    // the second grid waits.
+    // the second grid waits. campaignRunMany additionally honours
+    // --campaign-manifest / --campaign-results, making this grid a
+    // multi-process campaign.
     std::vector<SweepSpec> specs;
     for (std::size_t k = 0; k < 2; ++k)
         specs.push_back(compareSpec(cli, kinds[k], orgsByKind[k]));
     const std::vector<std::vector<SweepRecord>> byKind =
-        runner.runMany(specs);
+        campaignRunMany(cli, runner, specs, "fig12");
 
     Reporter report(cli.format);
     for (std::size_t k = 0; k < 2; ++k)

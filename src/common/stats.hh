@@ -67,6 +67,18 @@ class RunningMean
         total = 0.0;
     }
 
+    /**
+     * Rebuild from serialized state (count() / sum() of an earlier
+     * accumulator — the campaign shard JSON round-trip). Replaces the
+     * current contents.
+     */
+    void
+    restore(std::uint64_t count, double sum)
+    {
+        n = count;
+        total = sum;
+    }
+
   private:
     std::uint64_t n = 0;
     double total = 0.0;
@@ -93,6 +105,19 @@ class Histogram
             value = buckets.size() - 1;
         ++buckets[value];
         ++n;
+    }
+
+    /**
+     * Record @p count identical samples at once (used when rebuilding a
+     * histogram from its serialized sparse-bucket form).
+     */
+    void
+    addCount(std::uint64_t value, std::uint64_t count)
+    {
+        if (value >= buckets.size())
+            value = buckets.size() - 1;
+        buckets[value] += count;
+        n += count;
     }
 
     /** Count in bucket @p value. */

@@ -34,14 +34,24 @@ Directory::accessBatch(std::span<const DirRequest> requests,
     }
 }
 
+Directory::~Directory()
+{
+    while (repFree != nullptr) {
+        SharerRep *next = repFree->poolNext;
+        delete repFree;
+        repFree = next;
+    }
+}
+
 std::unique_ptr<SharerRep>
 Directory::acquireRep(SharerFormat format)
 {
-    if (!repPool.empty()) {
-        std::unique_ptr<SharerRep> rep = std::move(repPool.back());
-        repPool.pop_back();
+    if (repFree != nullptr) {
+        SharerRep *rep = repFree;
+        repFree = rep->poolNext;
+        rep->poolNext = nullptr;
         rep->clear();
-        return rep;
+        return std::unique_ptr<SharerRep>(rep);
     }
     return makeSharerRep(format, caches);
 }
@@ -49,16 +59,21 @@ Directory::acquireRep(SharerFormat format)
 void
 Directory::recycleRep(std::unique_ptr<SharerRep> rep)
 {
-    if (rep)
-        repPool.push_back(std::move(rep));
+    if (rep) {
+        SharerRep *node = rep.release();
+        node->poolNext = repFree;
+        repFree = node;
+    }
 }
 
 void
 Directory::prefillRepPool(SharerFormat format, std::size_t count)
 {
-    repPool.reserve(repPool.size() + count);
-    for (std::size_t i = 0; i < count; ++i)
-        repPool.push_back(makeSharerRep(format, caches));
+    for (std::size_t i = 0; i < count; ++i) {
+        SharerRep *node = makeSharerRep(format, caches).release();
+        node->poolNext = repFree;
+        repFree = node;
+    }
 }
 
 void

@@ -112,7 +112,7 @@ class Directory
   public:
     /** @param num_caches private caches this slice can name. */
     explicit Directory(std::size_t num_caches) : caches(num_caches) {}
-    virtual ~Directory() = default;
+    virtual ~Directory();
 
     /**
      * Handle one read or write miss; append exactly one outcome (plus
@@ -220,7 +220,14 @@ class Directory
     DirectoryStats statistics;
 
   private:
-    std::vector<std::unique_ptr<SharerRep>> repPool;
+    /**
+     * Head of the intrusive rep free-list: recycled reps chain through
+     * SharerRep::poolNext, so acquire/recycle are two pointer moves
+     * with no separate free-list array (LIFO, like the historical
+     * vector pool's push/pop — reuse order is unchanged). The pool owns
+     * the chained reps; the destructor frees them.
+     */
+    SharerRep *repFree = nullptr;
 };
 
 /**

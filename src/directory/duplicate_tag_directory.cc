@@ -26,10 +26,13 @@ DuplicateTagDirectory::DuplicateTagDirectory(std::size_t num_caches,
     assert(isPowerOfTwo(num_sets));
     assert(cache_assoc >= 1);
     indexMask = num_sets - 1;
-    const std::size_t total = num_sets * num_caches * cache_assoc;
+    const std::size_t width = num_caches * cache_assoc;
+    chunksPerSet = (width + kKernelWidth - 1) / kKernelWidth;
+    const std::size_t total = num_sets * width;
     tags.assign(total, 0);
     valids.assign(total, 0);
     lastUses.assign(total, 0);
+    chunkValid.assign(num_sets * chunksPerSet, 0);
 }
 
 void
@@ -53,8 +56,12 @@ DuplicateTagDirectory::collectHolders(std::size_t set, Tag tag,
         return;
     }
     // Kernel path: the whole set is one contiguous run; reduce it in
-    // 64-frame chunks and map each match bit back to its cache id.
+    // 64-frame chunks and map each match bit back to its cache id. A
+    // chunk with no valid frames cannot match — the occupancy summary
+    // lets sparse sets skip it without reading 64 tag lanes.
     for (std::size_t chunk = 0; chunk < width; chunk += kKernelWidth) {
+        if (chunkValid[chunkIndex(set, chunk)] == 0)
+            continue;
         const std::size_t n = std::min(kKernelWidth, width - chunk);
         std::uint64_t mask =
             tagMatchMask(&tags[base + chunk], &valids[base + chunk], n, tag);
@@ -115,6 +122,7 @@ DuplicateTagDirectory::access(const DirRequest &request,
                 for (unsigned w = 0; w < cacheAssoc; ++w) {
                     if (valids[rb + w] != 0 && tags[rb + w] == tag) {
                         valids[rb + w] = 0;
+                        noteValidChange(rb + w, false);
                         --occupied;
                     }
                 }
@@ -151,6 +159,10 @@ DuplicateTagDirectory::access(const DirRequest &request,
         }
         tags[dest] = tag;
         valids[dest] = 1;
+        // An eviction reuses a valid frame, so the chunk count only
+        // moves when a vacant frame fills.
+        if (!destValid)
+            noteValidChange(dest, true);
         lastUses[dest] = useClock;
         ++occupied;
 
@@ -176,6 +188,7 @@ DuplicateTagDirectory::removeSharer(Tag tag, CacheId cache)
     const std::size_t w = findTag(&tags[rb], &valids[rb], cacheAssoc, tag);
     if (w != cacheAssoc) {
         valids[rb + w] = 0;
+        noteValidChange(rb + w, false);
         --occupied;
         ++statistics.sharerRemovals;
     }
@@ -191,10 +204,14 @@ DuplicateTagDirectory::probe(Tag tag, DynamicBitset *sharers) const
         return sharers->any();
     }
     // Existence-only probe: scan the contiguous set run, stopping at the
-    // first matching chunk.
+    // first matching chunk. Chunks with no valid frames cannot match and
+    // are skipped outright (outcome-invariant on both kernel and scalar
+    // findTag paths — an all-invalid run returns "absent" either way).
     const std::size_t base = regionBase(set, 0);
     const std::size_t width = std::size_t{caches} * cacheAssoc;
     for (std::size_t chunk = 0; chunk < width; chunk += kKernelWidth) {
+        if (chunkValid[chunkIndex(set, chunk)] == 0)
+            continue;
         const std::size_t n = std::min(kKernelWidth, width - chunk);
         if (findTag(&tags[base + chunk], &valids[base + chunk], n, tag) != n)
             return true;

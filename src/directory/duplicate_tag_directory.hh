@@ -26,6 +26,7 @@
 
 #include <vector>
 
+#include "common/bit_util.hh"
 #include "directory/directory.hh"
 
 namespace cdir {
@@ -72,12 +73,43 @@ class DuplicateTagDirectory : public Directory
     void collectHolders(std::size_t set, Tag tag,
                         DynamicBitset &holders) const;
 
+    /** Chunk summary slot of frame offset @p off within @p set. */
+    std::size_t
+    chunkIndex(std::size_t set, std::size_t off) const
+    {
+        return set * chunksPerSet + off / kKernelWidth;
+    }
+
+    /** Bookkeep a valid-bit transition of global frame @p index. */
+    void
+    noteValidChange(std::size_t index, bool now_valid)
+    {
+        const std::size_t width = std::size_t{caches} * cacheAssoc;
+        const std::size_t set = index / width;
+        std::uint32_t &count = chunkValid[chunkIndex(set, index % width)];
+        if (now_valid)
+            ++count;
+        else
+            --count;
+    }
+
     std::size_t sets;
     unsigned cacheAssoc;
     std::size_t indexMask;
+    std::size_t chunksPerSet;
     std::vector<Tag> tags;               //!< SoA tag lane
     std::vector<std::uint8_t> valids;    //!< SoA valid lane
     std::vector<std::uint64_t> lastUses; //!< SoA LRU lane
+    /**
+     * Per-set occupancy summary: valid-frame count of each 64-frame
+     * kernel chunk, maintained at every valid-bit transition. The wide
+     * compare and the existence probe skip zero-count chunks — an empty
+     * region cannot match, so skipping is outcome-invariant (the
+     * behavioural counters stay bit-identical; kernel_identity_test
+     * pins this) while sparse sets stop paying for the full
+     * caches x assoc walk.
+     */
+    std::vector<std::uint32_t> chunkValid;
     std::size_t occupied = 0;
     std::uint64_t useClock = 0;
     DynamicBitset scratchHolders; //!< per-access wide-compare result

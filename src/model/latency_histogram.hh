@@ -38,6 +38,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace cdir {
@@ -211,6 +212,35 @@ class LatencyHistogram
         }
         n -= earlier.n;
         sum -= earlier.sum;
+    }
+
+    /**
+     * Rebuild from serialized state — sparse (bucket index, count)
+     * pairs plus the raw totalCycles() sum, the inverse of how the
+     * campaign shard JSON stores a histogram. Replaces the current
+     * contents. Because bucket geometry is fixed, the rebuilt histogram
+     * is bucket-wise identical to the original accumulator.
+     * @throws std::invalid_argument on an out-of-range bucket index.
+     */
+    void
+    restore(std::uint64_t raw_sum,
+            const std::vector<std::pair<std::size_t, std::uint64_t>>
+                &bucket_counts)
+    {
+        counts.clear();
+        n = 0;
+        sum = 0;
+        if (bucket_counts.empty() && raw_sum == 0)
+            return;
+        preallocate();
+        for (const auto &[index, count] : bucket_counts) {
+            if (index >= kBuckets)
+                throw std::invalid_argument(
+                    "LatencyHistogram::restore: bucket out of range");
+            counts[index] += count;
+            n += count;
+        }
+        sum = raw_sum;
     }
 
     /** Bucket-wise equality (an unallocated histogram equals an

@@ -549,7 +549,13 @@ usage(const char *bad)
         "  --cost-model=M[,M...] time each cell under these cost models\n"
         "                        ('fixed', 'mesh', or 'all'; default: "
         "untimed)\n"
-        "                        and report p50/p99/p99.9 latency\n",
+        "                        and report p50/p99/p99.9 latency\n"
+        "  --campaign-manifest=PATH  write this grid as a campaign work\n"
+        "                        manifest and exit (run it with "
+        "campaign_tool)\n"
+        "  --campaign-results=PATH   render tables from a merged "
+        "campaign\n"
+        "                        results document instead of running\n",
         bad);
     std::exit(2);
 }
@@ -641,9 +647,25 @@ parseHarnessOptions(int argc, char **argv)
                 if (opts.costModels.empty())
                     usage(argv[i]);
             }
+        } else if (const char *v =
+                       cliFlagValue(argv[i], "campaign-manifest")) {
+            if (*v == '\0')
+                usage(argv[i]);
+            opts.campaignManifest = v;
+        } else if (const char *v =
+                       cliFlagValue(argv[i], "campaign-results")) {
+            if (*v == '\0')
+                usage(argv[i]);
+            opts.campaignResults = v;
         }
         // Anything else is a harness-specific flag or positional
         // argument; the harness parses those itself.
+    }
+    if (!opts.campaignManifest.empty() && !opts.campaignResults.empty()) {
+        std::fprintf(stderr,
+                     "--campaign-manifest and --campaign-results are "
+                     "mutually exclusive\n");
+        std::exit(2);
     }
     // Two-level budget: never let jobs x shards oversubscribe the
     // machine. Clamping is output-invariant (sharding is bit-identical

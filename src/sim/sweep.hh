@@ -369,6 +369,19 @@ struct HarnessOptions
      * appendCostModelOptions().
      */
     std::vector<std::string> costModels;
+    /**
+     * --campaign-manifest=PATH: instead of running, serialize this
+     * harness's grid as a campaign work manifest at PATH and exit 0
+     * (sim/campaign.hh). Execution then belongs to campaign_tool.
+     */
+    std::string campaignManifest;
+    /**
+     * --campaign-results=PATH: skip execution and render the harness's
+     * tables from a merged campaign results document, validated
+     * against this exact grid. Mutually exclusive with
+     * --campaign-manifest.
+     */
+    std::string campaignResults;
 
     /** SweepOptions with this jobs/filter pair. */
     SweepOptions

@@ -36,6 +36,7 @@
 #include "sim/sweep.hh"
 #include "workload/workload.hh"
 
+#include "dir_test_util.hh"
 #include "golden_trace_util.hh"
 
 namespace cdir {
@@ -258,6 +259,130 @@ TEST(KernelIdentity, PrivateL2TableReproducesUnderScalarPath)
         }
 }
 
+// --- DuplicateTag chunk-occupancy skip ---------------------------------------
+
+/**
+ * Direct-slice differential stress aimed at DuplicateTag's per-set
+ * chunk-occupancy summary: the kernel wide-compare and the existence
+ * probe skip 64-frame chunks with no valid frames, which must be
+ * outcome-invariant. The stream concentrates on a few dense sets and
+ * leaves the rest sparse or empty, and keeps removing sharers so
+ * regions empty out and refill — the shapes where a stale summary
+ * counter would surface as a missed (or phantom) holder.
+ */
+TEST(KernelIdentity, DuplicateTagOccupancySkipIsOutcomeInvariant)
+{
+    // 16 and 24 tracked caches x assoc 4: one exactly-full 64-frame
+    // chunk per set, then a 96-frame set spanning a partial chunk.
+    for (const unsigned num_caches : {16u, 24u}) {
+        SCOPED_TRACE("caches=" + std::to_string(num_caches));
+        DirectoryParams params;
+        params.organization = "DuplicateTag";
+        params.numCaches = num_caches;
+        params.sets = 64;
+        params.trackedCacheAssoc = 4;
+        const auto kernel_dir = makeDirectory(params);
+        const auto scalar_dir = makeDirectory(params);
+
+        Rng rng(0x5eedULL + num_caches);
+        std::vector<Tag> live;
+        for (int iter = 0; iter < 20000; ++iter) {
+            const std::uint64_t op = rng.below(100);
+            if (op < 55 || live.empty()) {
+                // Mostly 4 dense sets; the other 60 stay sparse so the
+                // skip actually fires.
+                const Tag set = rng.below(2) != 0 ? rng.below(4)
+                                                  : rng.below(64);
+                const Tag tag = set | (rng.below(16) << 6);
+                const auto cache =
+                    static_cast<CacheId>(rng.below(num_caches));
+                const bool is_write = rng.below(4) == 0;
+                DirAccessResult k, s;
+                {
+                    ScalarPathGuard g(false);
+                    k = test::accessDir(*kernel_dir, tag, cache, is_write);
+                }
+                {
+                    ScalarPathGuard g(true);
+                    s = test::accessDir(*scalar_dir, tag, cache, is_write);
+                }
+                ASSERT_EQ(k.hit, s.hit) << "iter " << iter;
+                ASSERT_EQ(k.inserted, s.inserted) << "iter " << iter;
+                ASSERT_EQ(k.hadSharerInvalidations,
+                          s.hadSharerInvalidations)
+                    << "iter " << iter;
+                ASSERT_EQ(k.sharerInvalidations, s.sharerInvalidations)
+                    << "iter " << iter;
+                live.push_back(tag);
+            } else if (op < 85) {
+                // Remove a sharer of a recently-touched tag; drains the
+                // dense sets toward (and through) empty.
+                const std::size_t at = rng.below(live.size());
+                const Tag tag = live[at];
+                const auto cache =
+                    static_cast<CacheId>(rng.below(num_caches));
+                {
+                    ScalarPathGuard g(false);
+                    kernel_dir->removeSharer(tag, cache);
+                }
+                {
+                    ScalarPathGuard g(true);
+                    scalar_dir->removeSharer(tag, cache);
+                }
+                live[at] = live.back();
+                live.pop_back();
+            } else {
+                // Probe both forms: existence-only (the chunk-skipping
+                // findTag walk) and with sharer collection.
+                const Tag set = rng.below(64);
+                const Tag tag = set | (rng.below(16) << 6);
+                bool ke, se;
+                DynamicBitset kb(num_caches), sb(num_caches);
+                bool ks, ss;
+                {
+                    ScalarPathGuard g(false);
+                    ke = kernel_dir->probe(tag);
+                    ks = kernel_dir->probe(tag, &kb);
+                }
+                {
+                    ScalarPathGuard g(true);
+                    se = scalar_dir->probe(tag);
+                    ss = scalar_dir->probe(tag, &sb);
+                }
+                ASSERT_EQ(ke, se) << "iter " << iter;
+                ASSERT_EQ(ks, ss) << "iter " << iter;
+                ASSERT_TRUE(kb == sb) << "iter " << iter;
+            }
+        }
+
+        // Full-state agreement after the stream: every counter and
+        // every set's holder sets, including the all-empty ones.
+        const DirectoryStats &k = kernel_dir->stats();
+        const DirectoryStats &s = scalar_dir->stats();
+        EXPECT_EQ(k.lookups, s.lookups);
+        EXPECT_EQ(k.hits, s.hits);
+        EXPECT_EQ(k.insertions, s.insertions);
+        EXPECT_EQ(k.sharerAdds, s.sharerAdds);
+        EXPECT_EQ(k.writeUpgrades, s.writeUpgrades);
+        EXPECT_EQ(k.sharerRemovals, s.sharerRemovals);
+        EXPECT_EQ(k.forcedEvictions, s.forcedEvictions);
+        EXPECT_EQ(k.forcedBlockInvalidations, s.forcedBlockInvalidations);
+        EXPECT_EQ(kernel_dir->validEntries(), scalar_dir->validEntries());
+        for (Tag set = 0; set < 64; ++set)
+            for (Tag high = 0; high < 16; ++high) {
+                const Tag tag = set | (high << 6);
+                DynamicBitset kb(num_caches), sb(num_caches);
+                ScalarPathGuard g(false);
+                const bool kf = kernel_dir->probe(tag, &kb);
+                setForceScalarKernels(true);
+                const bool sf = scalar_dir->probe(tag, &sb);
+                ASSERT_EQ(kf, sf) << "set " << set << " high " << high;
+                ASSERT_TRUE(kb == sb)
+                    << "set " << set << " high " << high;
+            }
+    }
+}
+
 // --- stress level: differential replays across all organizations -------------
 
 /** Flat scalar-counter snapshot of one stress replay. */
@@ -325,6 +450,7 @@ replayStress(const std::string &organization, const WorkloadParams &wl,
                           dir.forcedBlockInvalidations,
                           dir.insertFailures};
 }
+
 
 TEST(KernelIdentity, DifferentialStressAgreesAcrossPaths)
 {

@@ -33,8 +33,16 @@ def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     max_regression = 0.25
     for a in argv[1:]:
+        if not a.startswith("--"):
+            continue
         if a.startswith("--max-regression="):
             max_regression = float(a.split("=", 1)[1])
+        else:
+            # A typo like --max-regresion=0.1 must not silently run the
+            # gate at the default threshold and report success.
+            print(f"perf_check: unknown flag: {a}", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
