@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "model/directory_model.hh"
+#include "sharers/sharer_rep.hh"
 #include "sim/sweep.hh"
 
 using namespace cdir;
@@ -48,8 +49,44 @@ const std::vector<std::pair<OrgModel, const char *>> kOrgs = {
     {OrgModel::SparseCoarse, "Sparse 8x Coarse"},
 };
 
-const std::size_t kCores[] = {16, 32, 64, 128, 256, 512, 1024};
+const std::size_t kCores[] = {16,  32,   64,   128,  256,
+                              512, 1024, 2048, 4096};
 constexpr std::size_t kCorePoints = std::size(kCores);
+
+/**
+ * Cross-check the analytical sharer-field widths against the
+ * simulator's sharerStorageBits() at every grid point — the model and
+ * the executable directories must charge the same bits per entry, or
+ * the Fig. 4 curves describe a different machine than the one
+ * ext_scalability_sim measures. @return mismatch count (0 = consistent).
+ */
+std::size_t
+crossCheckSharerBits()
+{
+    const std::pair<OrgModel, SharerFormat> pairs[] = {
+        {OrgModel::SparseFull, SharerFormat::FullVector},
+        {OrgModel::SparseCoarse, SharerFormat::CoarseVector},
+        {OrgModel::SparseHier, SharerFormat::Hierarchical},
+    };
+    std::size_t mismatches = 0;
+    for (const std::size_t cores : kCores) {
+        const std::size_t caches = fig4System(cores).numCaches();
+        for (const auto &[org, format] : pairs) {
+            const double model = modelSharerFieldBits(org, caches);
+            const unsigned sim = sharerStorageBits(format, caches);
+            if (model != double(sim)) {
+                std::fprintf(stderr,
+                             "fig04: sharer-bits mismatch at %zu "
+                             "caches: model(%s) = %.1f, "
+                             "sharerStorageBits = %u\n",
+                             caches, orgModelName(org).c_str(), model,
+                             sim);
+                ++mismatches;
+            }
+        }
+    }
+    return mismatches;
+}
 
 std::vector<std::string>
 coreColumns()
@@ -103,6 +140,16 @@ main(int argc, char **argv)
             table.addRow(std::move(row));
         }
         report.table(table);
+    }
+
+    // Analytical-vs-simulator storage consistency (also exercised at
+    // 2048/4096 cores, beyond the paper's 1024-core axis).
+    if (const std::size_t mismatches = crossCheckSharerBits()) {
+        std::fprintf(stderr,
+                     "fig04: %zu sharer-bits mismatch(es) between the "
+                     "analytical model and the simulator\n",
+                     mismatches);
+        return 1;
     }
     return 0;
 }

@@ -87,6 +87,16 @@ class SetAssocCache
     /** Enumerate resident block addresses (testing/diagnostics). */
     std::vector<BlockAddr> residentAddresses() const;
 
+    /** Estimated host bytes of the frame arrays (RAM budgeting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return sizeof(*this) + addrs.capacity() * sizeof(BlockAddr) +
+               valids.capacity() * sizeof(std::uint8_t) +
+               dirtys.capacity() * sizeof(std::uint8_t) +
+               lastUses.capacity() * sizeof(std::uint64_t);
+    }
+
   private:
     static constexpr std::size_t nframe = ~std::size_t{0};
 

@@ -60,6 +60,36 @@ bitsToName(std::uint64_t n)
     return n <= 1 ? 1u : ceilLog2(n);
 }
 
+/** Largest s with s*s <= n (exact integer square root). */
+constexpr std::uint64_t
+isqrtFloor(std::uint64_t n)
+{
+    if (n < 2)
+        return n;
+    // Newton's iteration seeded above sqrt(n): 2^ceil(log2(n)/2) squares
+    // to >= n, and the iteration decreases monotonically to floor(sqrt).
+    std::uint64_t x = std::uint64_t{1} << ((floorLog2(n) / 2) + 1);
+    std::uint64_t y = (x + n / x) / 2;
+    while (y < x) {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    return x;
+}
+
+/**
+ * Smallest s with s*s >= n. Used for cluster-geometry derivations
+ * (hierarchical sharer vectors, the analytical model) in place of
+ * std::ceil(std::sqrt(double)) so storage accounting cannot drift
+ * across platforms, FP modes, or libm versions.
+ */
+constexpr std::uint64_t
+isqrtCeil(std::uint64_t n)
+{
+    const std::uint64_t r = isqrtFloor(n);
+    return r * r == n ? r : r + 1;
+}
+
 /** Mask with the low @p bits bits set. */
 constexpr std::uint64_t
 lowMask(unsigned bits)

@@ -297,6 +297,16 @@ class DynamicBitset
         return numBits == other.numBits && words == other.words;
     }
 
+    /**
+     * Bytes of heap the word buffer holds (capacity, not live size —
+     * reinit() keeps high-water storage by design). Feeds the footprint
+     * accounting in Directory::memoryBytes().
+     */
+    std::size_t heapBytes() const
+    {
+        return words.capacity() * sizeof(std::uint64_t);
+    }
+
   private:
     static std::uint64_t
     lowBits(unsigned n)

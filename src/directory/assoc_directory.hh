@@ -55,6 +55,21 @@ class AssocDirectory : public Directory
     std::size_t capacity() const override { return tags.size(); }
     std::string name() const override;
 
+    std::size_t
+    memoryBytes() const override
+    {
+        std::size_t total =
+            sizeof(*this) + tags.capacity() * sizeof(Tag) +
+            valids.capacity() * sizeof(std::uint8_t) +
+            lastUses.capacity() * sizeof(std::uint64_t) +
+            reps.capacity() * sizeof(std::unique_ptr<SharerRep>) +
+            pooledRepBytes();
+        for (const auto &rep : reps)
+            if (rep)
+                total += rep->memoryBytes();
+        return total;
+    }
+
   private:
     static constexpr std::size_t npos = ~std::size_t{0};
 

@@ -65,6 +65,21 @@ class CuckooDirectory : public Directory
     /** Discards absorbed by the stash instead of invalidating blocks. */
     std::uint64_t stashAbsorbed() const { return stashAbsorbs; }
 
+    std::size_t
+    memoryBytes() const override
+    {
+        std::size_t total =
+            sizeof(*this) + pooledRepBytes() +
+            table.memoryBytes([](const Rep &rep) {
+                return rep ? rep->memoryBytes() : std::size_t{0};
+            }) +
+            stash.capacity() * sizeof(StashEntry);
+        for (const auto &entry : stash)
+            if (entry.rep)
+                total += entry.rep->memoryBytes();
+        return total;
+    }
+
   private:
     using Rep = std::unique_ptr<SharerRep>;
 

@@ -300,6 +300,25 @@ class CuckooTable
                 visitor(tags[i], payloads[i]);
     }
 
+    /**
+     * Host bytes of the SoA lanes plus the payloads' owned storage:
+     * @p payload_bytes maps a valid payload to the heap it owns (e.g. a
+     * sharer rep's memoryBytes()). Feeds Directory::memoryBytes().
+     */
+    template <typename PayloadBytes>
+    std::size_t
+    memoryBytes(PayloadBytes &&payload_bytes) const
+    {
+        std::size_t total = tags.capacity() * sizeof(Tag) +
+                            valids.capacity() * sizeof(std::uint8_t) +
+                            payloads.capacity() * sizeof(Payload);
+        const std::size_t n = tags.size();
+        for (std::size_t i = 0; i < n; ++i)
+            if (valids[i] != 0)
+                total += payload_bytes(payloads[i]);
+        return total;
+    }
+
     /** Occupancy of one way (test support for uniform-way utilization). */
     double
     wayOccupancy(unsigned way) const

@@ -76,6 +76,16 @@ Directory::prefillRepPool(SharerFormat format, std::size_t count)
     }
 }
 
+std::size_t
+Directory::pooledRepBytes() const
+{
+    std::size_t total = 0;
+    for (const SharerRep *rep = repFree; rep != nullptr;
+         rep = rep->poolNext)
+        total += rep->memoryBytes();
+    return total;
+}
+
 void
 Directory::updateEntryOnHit(SharerRep &rep, const DirRequest &request,
                             DirAccessContext &ctx, DirAccessOutcome &out)

@@ -169,6 +169,17 @@ class Directory
     /** Human-readable organization name for reports. */
     virtual std::string name() const = 0;
 
+    /**
+     * Estimated host-process bytes this slice occupies: the slice
+     * object, its table arrays (at vector capacity), every live sharer
+     * representation, and the recycled-rep pool. This is *simulator*
+     * footprint for RAM budgeting (ExperimentResult::estimatedBytes),
+     * not the modelled hardware storage — that is storageBits()/the
+     * analytical model. Deterministic for a given access history, so it
+     * is safe to serialize in campaign results.
+     */
+    virtual std::size_t memoryBytes() const = 0;
+
     /** A context correctly bound for this slice. */
     DirAccessContext makeContext() const { return DirAccessContext(caches); }
 
@@ -215,6 +226,9 @@ class Directory
      */
     void updateEntryOnHit(SharerRep &rep, const DirRequest &request,
                           DirAccessContext &ctx, DirAccessOutcome &out);
+
+    /** Bytes held by the recycled-rep free list (for memoryBytes()). */
+    std::size_t pooledRepBytes() const;
 
     std::size_t caches;
     DirectoryStats statistics;

@@ -57,6 +57,16 @@ class DuplicateTagDirectory : public Directory
         return static_cast<unsigned>(caches) * cacheAssoc;
     }
 
+    std::size_t
+    memoryBytes() const override
+    {
+        return sizeof(*this) + tags.capacity() * sizeof(Tag) +
+               valids.capacity() * sizeof(std::uint8_t) +
+               lastUses.capacity() * sizeof(std::uint64_t) +
+               chunkValid.capacity() * sizeof(std::uint32_t) +
+               scratchHolders.heapBytes() + pooledRepBytes();
+    }
+
   private:
     std::size_t setIndex(Tag tag) const { return tag & indexMask; }
 

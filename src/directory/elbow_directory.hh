@@ -57,6 +57,21 @@ class ElbowDirectory : public Directory
     /** Insertions resolved by a single relocation (no eviction). */
     std::uint64_t relocations() const { return relocated; }
 
+    std::size_t
+    memoryBytes() const override
+    {
+        std::size_t total =
+            sizeof(*this) + tags.capacity() * sizeof(Tag) +
+            valids.capacity() * sizeof(std::uint8_t) +
+            lastUses.capacity() * sizeof(std::uint64_t) +
+            reps.capacity() * sizeof(std::unique_ptr<SharerRep>) +
+            pooledRepBytes();
+        for (const auto &rep : reps)
+            if (rep)
+                total += rep->memoryBytes();
+        return total;
+    }
+
   private:
     static constexpr std::size_t npos = ~std::size_t{0};
 

@@ -70,6 +70,16 @@ class TagSharerMap
     /** True iff @p tag is tracked. */
     bool contains(Tag tag) const { return find(tag) != nullptr; }
 
+    /** Host bytes of the slot array plus owned bitset storage. */
+    std::size_t
+    memoryBytes() const
+    {
+        std::size_t total = slots.capacity() * sizeof(Slot);
+        for (const Slot &slot : slots)
+            total += slot.sharers.heapBytes();
+        return total;
+    }
+
   private:
     struct Slot
     {
@@ -111,6 +121,16 @@ class TaglessDirectory : public Directory
 
     /** Invalidations sent to caches that did not hold the block. */
     std::uint64_t spuriousInvalidations() const { return spurious; }
+
+    std::size_t
+    memoryBytes() const override
+    {
+        return sizeof(*this) +
+               hashKeys.capacity() * sizeof(std::uint64_t) +
+               counters.capacity() * sizeof(std::uint16_t) +
+               shadow.memoryBytes() + scratchHolders.heapBytes() +
+               pooledRepBytes();
+    }
 
   private:
     std::size_t setIndex(Tag tag) const { return tag & indexMask; }

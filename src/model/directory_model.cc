@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/bit_util.hh"
+
 namespace cdir {
 
 namespace {
@@ -70,9 +72,18 @@ vectorBits(OrgModel org, double num_caches)
       case OrgModel::CuckooCoarse:
         return 2.0 * std::ceil(log2d(num_caches));
       case OrgModel::SparseHier:
-      case OrgModel::CuckooHier:
-        // Root vector over ceil(sqrt(C)) clusters.
-        return std::ceil(std::sqrt(num_caches));
+      case OrgModel::CuckooHier: {
+        // Root vector: one bit per cluster of isqrtCeil(C) caches.
+        // Exact integer math matching sharerStorageBits() and the
+        // HierarchicalVectorRep geometry — note ceil(C / isqrtCeil(C))
+        // can be one less than ceil(sqrt(C)) (e.g. C = 128 packs into
+        // 11 clusters of 12), and std::sqrt on a double can land on
+        // the wrong side of an exact square for large C.
+        const auto c = std::uint64_t(num_caches);
+        const std::uint64_t cluster = std::max<std::uint64_t>(
+            isqrtCeil(c), 1);
+        return double((c + cluster - 1) / cluster);
+      }
       default:
         return 0.0;
     }
@@ -106,9 +117,10 @@ taggedEntryCost(OrgModel org, const DirSystemParams &p,
     const double entry_bits = tag_bits + state_bits + vec_bits;
 
     // Hierarchical: secondary table with one leaf per primary entry
-    // provisioned; each leaf replicates the tag (§3.3).
+    // provisioned; each leaf replicates the tag (§3.3). A leaf is one
+    // bit per cache in its cluster — isqrtCeil(C) bits.
     const double leaf_bits =
-        isHier(org) ? std::ceil(std::sqrt(C)) : 0.0;
+        isHier(org) ? double(isqrtCeil(std::uint64_t(C))) : 0.0;
     const double secondary_entry_bits =
         isHier(org) ? tag_bits + leaf_bits : 0.0;
 
@@ -222,6 +234,12 @@ directoryCost(OrgModel org, const DirSystemParams &p, const EventMix &mix)
     }
     assert(false && "unreachable");
     return {};
+}
+
+double
+modelSharerFieldBits(OrgModel org, std::size_t num_caches)
+{
+    return vectorBits(org, double(num_caches));
 }
 
 std::string

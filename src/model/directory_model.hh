@@ -103,6 +103,15 @@ struct DirCost
 DirCost directoryCost(OrgModel org, const DirSystemParams &params,
                       const EventMix &mix = {});
 
+/**
+ * Sharer-field width (bits per entry) the model charges @p org at
+ * @p num_caches tracked caches — the analytical counterpart of the
+ * simulator's sharerStorageBits() (sharers/sharer_rep.hh), exported so
+ * the Fig. 4 harness can cross-check the two formulas at every grid
+ * point. 0 for organizations without a per-entry vector field.
+ */
+double modelSharerFieldBits(OrgModel org, std::size_t num_caches);
+
 /** Display name used in the figure legends. */
 std::string orgModelName(OrgModel org);
 

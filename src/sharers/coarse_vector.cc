@@ -24,46 +24,44 @@ void
 CoarseVectorRep::add(CacheId cache)
 {
     assert(cache < numCaches);
-    if (!coarse) {
-        if (std::find(pointers.begin(), pointers.end(), cache) !=
-            pointers.end()) {
-            return; // already an exact sharer
-        }
-        if (pointers.size() < maxPointers) {
-            pointers.push_back(cache);
-            ++sharers;
-            return;
-        }
-        // Overflow: reinterpret the bits as a coarse group vector.
+    // Membership check first, in *both* modes: a coarse group bit is not
+    // evidence of membership (it may cover a different sharer), so the
+    // exact count must come from the bookkeeping list. Without this, a
+    // re-add of a cache already covered by its group bit double-counted
+    // and remove() never saw the entry empty.
+    if (std::find(pointers.begin(), pointers.end(), cache) !=
+        pointers.end()) {
+        return; // already a tracked sharer
+    }
+    if (!coarse && pointers.size() == maxPointers) {
+        // Overflow: reinterpret the budgeted bits as a coarse group
+        // vector. The pointer list lives on as exact-membership
+        // bookkeeping (see the header comment; it is not charged
+        // against storageBits()).
         coarse = true;
         groups.clear();
         for (CacheId p : pointers)
             groups.set(group(p));
-        pointers.clear();
     }
-    if (!mightContain(cache))
-        groups.set(group(cache));
+    pointers.push_back(cache);
     ++sharers;
+    if (coarse)
+        groups.set(group(cache));
 }
 
 bool
 CoarseVectorRep::remove(CacheId cache)
 {
     assert(cache < numCaches);
-    if (!coarse) {
-        auto it = std::find(pointers.begin(), pointers.end(), cache);
-        if (it != pointers.end()) {
-            pointers.erase(it);
-            assert(sharers > 0);
-            --sharers;
-        }
-        return sharers == 0;
-    }
-    // Coarse mode: the group bit must stay set (it may cover other
-    // sharers), but the exact count still tracks emptiness.
-    if (sharers > 0)
+    auto it = std::find(pointers.begin(), pointers.end(), cache);
+    if (it != pointers.end()) {
+        pointers.erase(it);
+        assert(sharers > 0);
         --sharers;
-    if (sharers == 0)
+    }
+    // Coarse mode: group bits must stay set on removal (each may cover
+    // other sharers); the representation resets only when it empties.
+    if (coarse && sharers == 0)
         clear();
     return sharers == 0;
 }
@@ -95,6 +93,13 @@ CoarseVectorRep::invalidationTargets(DynamicBitset &out) const
         const std::size_t hi = std::min(lo + cachesPerGroup, numCaches);
         out.setRange(lo, hi);
     });
+}
+
+std::size_t
+CoarseVectorRep::memoryBytes() const
+{
+    return sizeof(*this) + pointers.capacity() * sizeof(CacheId) +
+           groups.heapBytes();
 }
 
 void

@@ -15,6 +15,13 @@
  * pointer mode only when the exact count drops to the pointer capacity
  * *and* the remaining sharers are re-learnable — which hardware cannot
  * do, so we conservatively stay coarse until the entry empties.
+ *
+ * The pointer list doubles as exact-membership bookkeeping in coarse
+ * mode (hardware keeps the exact count the paper's occupancy accounting
+ * assumes — see sharer_rep.hh): membership, not the conservative group
+ * bit, decides whether add()/remove() move the count, so re-adding a
+ * cache already covered by its group is idempotent. The list is
+ * simulator bookkeeping and is not charged against storageBits().
  */
 
 #ifndef CDIR_SHARERS_COARSE_VECTOR_HH
@@ -39,6 +46,7 @@ class CoarseVectorRep : public SharerRep
     std::size_t count() const override { return sharers; }
     bool precise() const override { return !coarse; }
     unsigned storageBits() const override { return budgetBits; }
+    std::size_t memoryBytes() const override;
     void clear() override;
 
     /** True iff currently in coarse (overflowed) mode. */
@@ -60,7 +68,7 @@ class CoarseVectorRep : public SharerRep
     std::size_t cachesPerGroup;
 
     bool coarse = false;
-    std::vector<CacheId> pointers;  //!< exact mode contents
+    std::vector<CacheId> pointers;  //!< exact members (both modes)
     DynamicBitset groups;           //!< coarse mode contents
     std::size_t sharers = 0;        //!< exact count (see sharer_rep.hh)
 };

@@ -1,0 +1,118 @@
+#include "sharers/compressed_vector.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace cdir {
+
+CompressedVectorRep::CompressedVectorRep(std::size_t num_caches)
+    : numCaches(num_caches)
+{
+    assert(num_caches >= 1);
+}
+
+std::size_t
+CompressedVectorRep::find(std::uint32_t word_index) const
+{
+    const auto it = std::lower_bound(wordIndexes.begin(), wordIndexes.end(),
+                                     word_index);
+    if (it == wordIndexes.end() || *it != word_index)
+        return wordIndexes.size();
+    return static_cast<std::size_t>(it - wordIndexes.begin());
+}
+
+void
+CompressedVectorRep::add(CacheId cache)
+{
+    assert(cache < numCaches);
+    const auto wi = static_cast<std::uint32_t>(cache >> 6);
+    const std::uint64_t bit = std::uint64_t{1} << (cache & 63);
+    const auto it =
+        std::lower_bound(wordIndexes.begin(), wordIndexes.end(), wi);
+    const auto pos = static_cast<std::size_t>(it - wordIndexes.begin());
+    if (it == wordIndexes.end() || *it != wi) {
+        wordIndexes.insert(it, wi);
+        words.insert(words.begin() + static_cast<std::ptrdiff_t>(pos), bit);
+        ++sharers;
+        return;
+    }
+    if ((words[pos] & bit) == 0) {
+        words[pos] |= bit;
+        ++sharers;
+    }
+}
+
+bool
+CompressedVectorRep::remove(CacheId cache)
+{
+    assert(cache < numCaches);
+    const std::size_t pos = find(static_cast<std::uint32_t>(cache >> 6));
+    if (pos < words.size()) {
+        const std::uint64_t bit = std::uint64_t{1} << (cache & 63);
+        if ((words[pos] & bit) != 0) {
+            words[pos] &= ~bit;
+            --sharers;
+            if (words[pos] == 0) {
+                wordIndexes.erase(wordIndexes.begin() +
+                                  static_cast<std::ptrdiff_t>(pos));
+                words.erase(words.begin() +
+                            static_cast<std::ptrdiff_t>(pos));
+            }
+        }
+    }
+    return sharers == 0;
+}
+
+bool
+CompressedVectorRep::mightContain(CacheId cache) const
+{
+    if (cache >= numCaches)
+        return false;
+    const std::size_t pos = find(static_cast<std::uint32_t>(cache >> 6));
+    if (pos >= words.size())
+        return false;
+    return (words[pos] >> (cache & 63)) & 1;
+}
+
+void
+CompressedVectorRep::invalidationTargets(DynamicBitset &out) const
+{
+    out.reinit(numCaches);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const std::size_t base = static_cast<std::size_t>(wordIndexes[i])
+                                 << 6;
+        std::uint64_t word = words[i];
+        while (word != 0) {
+            out.set(base +
+                    static_cast<std::size_t>(std::countr_zero(word)));
+            word &= word - 1;
+        }
+    }
+}
+
+unsigned
+CompressedVectorRep::storageBits() const
+{
+    // The modelled hardware entry is the full presence vector; the
+    // packing is purely a host-RAM optimization.
+    return static_cast<unsigned>(numCaches);
+}
+
+std::size_t
+CompressedVectorRep::memoryBytes() const
+{
+    return sizeof(*this) +
+           wordIndexes.capacity() * sizeof(std::uint32_t) +
+           words.capacity() * sizeof(std::uint64_t);
+}
+
+void
+CompressedVectorRep::clear()
+{
+    wordIndexes.clear(); // keeps capacity: pooled reps stay alloc-free
+    words.clear();
+    sharers = 0;
+}
+
+} // namespace cdir

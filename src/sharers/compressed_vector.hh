@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Compressed word-packed sharer representation.
+ *
+ * Semantically a full presence-bit vector (precise, one bit per cache,
+ * storageBits() == N like FullVectorRep — the hardware entry it models
+ * is the same Censier & Feautrier vector [9]), but the *simulator*
+ * stores only the non-zero 64-bit words of that vector as a sorted
+ * (word index, word) pair list. Directory entries overwhelmingly track
+ * a handful of sharers, so a 4096-cache cell pays a few pairs per entry
+ * instead of 512 bytes — the RAM-budget lever that lets full-vector
+ * semantics run at thousand-core scale (ROADMAP "thousand-core CMPs").
+ *
+ * Because precision, invalidation targets, and storage accounting all
+ * match FullVectorRep exactly, every simulated statistic is
+ * bit-identical between the two formats — pinned by the sharer-rep
+ * equivalence suite. An empty rep owns no heap; clear() keeps the
+ * high-water capacity (allocation-free protocol contract).
+ */
+
+#ifndef CDIR_SHARERS_COMPRESSED_VECTOR_HH
+#define CDIR_SHARERS_COMPRESSED_VECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sharers/sharer_rep.hh"
+
+namespace cdir {
+
+/** Word-packed sparse full-vector representation (see file comment). */
+class CompressedVectorRep : public SharerRep
+{
+  public:
+    explicit CompressedVectorRep(std::size_t num_caches);
+
+    void add(CacheId cache) override;
+    bool remove(CacheId cache) override;
+    bool mightContain(CacheId cache) const override;
+    void invalidationTargets(DynamicBitset &out) const override;
+    std::size_t count() const override { return sharers; }
+    bool precise() const override { return true; }
+    unsigned storageBits() const override;
+    std::size_t memoryBytes() const override;
+    void clear() override;
+
+    /** Number of non-zero 64-bit words currently materialized. */
+    std::size_t packedWords() const { return wordIndexes.size(); }
+
+  private:
+    /** Position of @p word_index in the sorted pair list, or size(). */
+    std::size_t find(std::uint32_t word_index) const;
+
+    std::size_t numCaches;
+    std::size_t sharers = 0;
+    // Parallel sorted-by-index arrays (SoA, matching the directory's
+    // layout idiom): wordIndexes[i] names the 64-cache span whose
+    // presence bits live in words[i]. Words are never zero.
+    std::vector<std::uint32_t> wordIndexes;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace cdir
+
+#endif // CDIR_SHARERS_COMPRESSED_VECTOR_HH

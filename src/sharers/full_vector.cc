@@ -45,6 +45,12 @@ FullVectorRep::storageBits() const
     return static_cast<unsigned>(bits.size());
 }
 
+std::size_t
+FullVectorRep::memoryBytes() const
+{
+    return sizeof(*this) + bits.heapBytes();
+}
+
 void
 FullVectorRep::clear()
 {

@@ -25,6 +25,7 @@ class FullVectorRep : public SharerRep
     std::size_t count() const override { return sharers; }
     bool precise() const override { return true; }
     unsigned storageBits() const override;
+    std::size_t memoryBytes() const override;
     void clear() override;
 
   private:

@@ -1,7 +1,9 @@
 #include "sharers/hierarchical_vector.hh"
 
+#include <bit>
 #include <cassert>
-#include <cmath>
+
+#include "common/bit_util.hh"
 
 namespace cdir {
 
@@ -10,19 +12,15 @@ HierarchicalVectorRep::HierarchicalVectorRep(std::size_t num_caches,
     : numCaches(num_caches)
 {
     assert(num_caches >= 1);
-    if (cluster_size == 0) {
-        cluster_size = static_cast<std::size_t>(
-            std::ceil(std::sqrt(static_cast<double>(num_caches))));
-    }
+    if (cluster_size == 0)
+        cluster_size = static_cast<std::size_t>(isqrtCeil(num_caches));
     cachesPerCluster = cluster_size;
     numClusters = (num_caches + cluster_size - 1) / cluster_size;
+    wordsPerLeaf = (cachesPerCluster + 63) / 64;
     root = DynamicBitset(numClusters);
-    // Sub-vector storage is provisioned up front and only *logically*
-    // allocated/freed via the root bits: the storage-bit accounting in
-    // storageBits() still charges only live sub-vectors, but add/remove
-    // never touch the heap (allocation-free protocol contract).
-    leaves.assign(numClusters, DynamicBitset(cachesPerCluster));
-    leafCounts.assign(numClusters, 0);
+    // Leaf words are allocated lazily at first touch of a cluster and
+    // packed in root-rank order (see header); an empty rep owns only
+    // the root vector.
 }
 
 void
@@ -30,11 +28,18 @@ HierarchicalVectorRep::add(CacheId cache)
 {
     assert(cache < numCaches);
     const std::size_t cl = cluster(cache);
-    root.set(cl);
+    const std::size_t off = leafOffset(cl);
+    if (!root.test(cl)) {
+        root.set(cl);
+        leafWords.insert(leafWords.begin() +
+                             static_cast<std::ptrdiff_t>(off),
+                         wordsPerLeaf, 0);
+    }
     const std::size_t within = cache % cachesPerCluster;
-    if (!leaves[cl].test(within)) {
-        leaves[cl].set(within);
-        ++leafCounts[cl];
+    std::uint64_t &word = leafWords[off + (within >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (within & 63);
+    if ((word & bit) == 0) {
+        word |= bit;
         ++sharers;
     }
 }
@@ -44,13 +49,27 @@ HierarchicalVectorRep::remove(CacheId cache)
 {
     assert(cache < numCaches);
     const std::size_t cl = cluster(cache);
+    if (!root.test(cl))
+        return sharers == 0;
+    const std::size_t off = leafOffset(cl);
     const std::size_t within = cache % cachesPerCluster;
-    if (root.test(cl) && leaves[cl].test(within)) {
-        leaves[cl].reset(within);
-        --leafCounts[cl];
+    std::uint64_t &word = leafWords[off + (within >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (within & 63);
+    if ((word & bit) != 0) {
+        word &= ~bit;
         --sharers;
-        if (leafCounts[cl] == 0)
-            root.reset(cl); // the sub-vector is logically freed
+        bool leaf_empty = true;
+        for (std::size_t w = 0; w < wordsPerLeaf && leaf_empty; ++w)
+            leaf_empty = leafWords[off + w] == 0;
+        if (leaf_empty) {
+            // The sub-vector is freed: unpack it from the rank order.
+            const auto first = leafWords.begin() +
+                               static_cast<std::ptrdiff_t>(off);
+            leafWords.erase(first,
+                            first + static_cast<std::ptrdiff_t>(
+                                        wordsPerLeaf));
+            root.reset(cl);
+        }
     }
     return sharers == 0;
 }
@@ -61,20 +80,34 @@ HierarchicalVectorRep::mightContain(CacheId cache) const
     if (cache >= numCaches)
         return false;
     const std::size_t cl = cluster(cache);
-    return root.test(cl) && leaves[cl].test(cache % cachesPerCluster);
+    if (!root.test(cl))
+        return false;
+    const std::size_t off = leafOffset(cl);
+    const std::size_t within = cache % cachesPerCluster;
+    return (leafWords[off + (within >> 6)] >>
+            (within & 63)) & 1;
 }
 
 void
 HierarchicalVectorRep::invalidationTargets(DynamicBitset &out) const
 {
     out.reinit(numCaches);
+    // Live leaves are stored in root-rank order, so one ascending pass
+    // over the root bits walks leafWords front to back.
+    std::size_t off = 0;
     root.forEachSetBit([&](std::size_t cl) {
         const std::size_t base = cl * cachesPerCluster;
-        leaves[cl].forEachSetBit([&](std::size_t w) {
-            const std::size_t cache = base + w;
-            if (cache < numCaches)
-                out.set(cache);
-        });
+        for (std::size_t w = 0; w < wordsPerLeaf; ++w) {
+            std::uint64_t word = leafWords[off++];
+            while (word != 0) {
+                const std::size_t cache =
+                    base + (w << 6) +
+                    static_cast<std::size_t>(std::countr_zero(word));
+                if (cache < numCaches)
+                    out.set(cache);
+                word &= word - 1;
+            }
+        }
     });
 }
 
@@ -89,13 +122,18 @@ HierarchicalVectorRep::storageBits() const
                                  allocatedLeaves() * cachesPerCluster);
 }
 
+std::size_t
+HierarchicalVectorRep::memoryBytes() const
+{
+    return sizeof(*this) + root.heapBytes() +
+           leafWords.capacity() * sizeof(std::uint64_t);
+}
+
 void
 HierarchicalVectorRep::clear()
 {
     root.clear();
-    for (auto &leaf : leaves)
-        leaf.clear();
-    leafCounts.assign(numClusters, 0);
+    leafWords.clear(); // keeps capacity: pooled reps stay alloc-free
     sharers = 0;
 }
 

@@ -9,13 +9,25 @@
  * its benefit is storage (and the cost of tag replication plus a second
  * serialized lookup, which the analytical model charges in src/model).
  *
- * The cluster size defaults to ceil(sqrt(N)), the square-root split that
- * minimizes root + single-leaf storage.
+ * The cluster size defaults to isqrtCeil(N), the square-root split that
+ * minimizes root + single-leaf storage (exact integer math, so the
+ * cluster geometry — and with it storageBits() and golden stats — is
+ * identical on every platform and FP mode).
+ *
+ * Leaf storage is lazy: live leaves are packed contiguously in root-rank
+ * order inside one flat word vector, so an entry with s sharers holds
+ * O(root + s) words instead of numClusters x cachesPerCluster bits. At
+ * 4096 caches that is the difference between 64 root bits + a few
+ * 64-bit leaf words and an eagerly materialized 4096-bit matrix per
+ * entry — the property that lets thousand-core cells fit in RAM.
+ * clear() keeps the vector's high-water capacity, so pooled reps stay
+ * allocation-free in steady state (the batched-protocol contract).
  */
 
 #ifndef CDIR_SHARERS_HIERARCHICAL_VECTOR_HH
 #define CDIR_SHARERS_HIERARCHICAL_VECTOR_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "sharers/sharer_rep.hh"
@@ -29,7 +41,7 @@ class HierarchicalVectorRep : public SharerRep
     /**
      * @param num_caches   number of private caches tracked.
      * @param cluster_size caches per second-level vector; 0 selects
-     *                     ceil(sqrt(num_caches)).
+     *                     isqrtCeil(num_caches).
      */
     explicit HierarchicalVectorRep(std::size_t num_caches,
                                    std::size_t cluster_size = 0);
@@ -41,6 +53,7 @@ class HierarchicalVectorRep : public SharerRep
     std::size_t count() const override { return sharers; }
     bool precise() const override { return true; }
     unsigned storageBits() const override;
+    std::size_t memoryBytes() const override;
     void clear() override;
 
     /** Number of second-level vectors currently allocated. */
@@ -55,13 +68,19 @@ class HierarchicalVectorRep : public SharerRep
         return cache / cachesPerCluster;
     }
 
+    /** Word offset of cluster @p cl's leaf inside leafWords (rank). */
+    std::size_t leafOffset(std::size_t cl) const
+    {
+        return root.popcountRange(0, cl) * wordsPerLeaf;
+    }
+
     std::size_t numCaches;
     std::size_t cachesPerCluster;
     std::size_t numClusters;
+    std::size_t wordsPerLeaf;
 
     DynamicBitset root;                    //!< one bit per cluster
-    std::vector<DynamicBitset> leaves;     //!< per-cluster sub-vectors
-    std::vector<std::size_t> leafCounts;   //!< sharers per cluster
+    std::vector<std::uint64_t> leafWords;  //!< live leaves, root-rank order
     std::size_t sharers = 0;
 };
 

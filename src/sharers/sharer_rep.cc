@@ -1,9 +1,8 @@
 #include "sharers/sharer_rep.hh"
 
-#include <cmath>
-
 #include "common/bit_util.hh"
 #include "sharers/coarse_vector.hh"
+#include "sharers/compressed_vector.hh"
 #include "sharers/full_vector.hh"
 #include "sharers/hierarchical_vector.hh"
 
@@ -19,6 +18,8 @@ makeSharerRep(SharerFormat format, std::size_t num_caches)
         return std::make_unique<CoarseVectorRep>(num_caches);
       case SharerFormat::Hierarchical:
         return std::make_unique<HierarchicalVectorRep>(num_caches);
+      case SharerFormat::Compressed:
+        return std::make_unique<CompressedVectorRep>(num_caches);
     }
     return nullptr;
 }
@@ -28,15 +29,17 @@ sharerStorageBits(SharerFormat format, std::size_t num_caches)
 {
     switch (format) {
       case SharerFormat::FullVector:
+      case SharerFormat::Compressed: // word-packed full vector
         return static_cast<unsigned>(num_caches);
       case SharerFormat::CoarseVector:
         return 2 * bitsToName(num_caches);
       case SharerFormat::Hierarchical: {
         // Primary-entry cost: root vector sized one bit per cluster of
-        // ~sqrt(N) caches (second-level entries live at secondary
-        // locations and are charged separately by the model).
-        const auto cluster = static_cast<std::size_t>(
-            std::ceil(std::sqrt(static_cast<double>(num_caches))));
+        // isqrtCeil(N) caches (second-level entries live at secondary
+        // locations and are charged separately by the model). Exact
+        // integer math, matching HierarchicalVectorRep's geometry.
+        const auto cluster =
+            static_cast<std::size_t>(isqrtCeil(num_caches));
         return static_cast<unsigned>((num_caches + cluster - 1) / cluster);
       }
     }

@@ -66,6 +66,14 @@ class SharerRep
     /** Storage bits this representation occupies in one entry. */
     virtual unsigned storageBits() const = 0;
 
+    /**
+     * Host-process bytes this rep object occupies (object plus owned
+     * heap, counting vector *capacity* — the pools keep high-water
+     * storage). This is simulator footprint accounting for the RAM
+     * budgeting report, distinct from the modelled storageBits().
+     */
+    virtual std::size_t memoryBytes() const = 0;
+
     /** Drop all sharers. */
     virtual void clear() = 0;
 
@@ -91,6 +99,7 @@ enum class SharerFormat
     FullVector,    //!< one bit per cache (precise)
     CoarseVector,  //!< 2*log2(N) bits: limited pointers, coarse fallback
     Hierarchical,  //!< two-level bit vector (precise, cheaper storage)
+    Compressed,    //!< word-packed sparse full vector (precise; lean RAM)
 };
 
 /**

@@ -821,6 +821,9 @@ parseExperimentResultValue(const JsonValue &v)
     r.latencyP50 = v.at("latency_p50").asU64();
     r.latencyP99 = v.at("latency_p99").asU64();
     r.latencyP999 = v.at("latency_p999").asU64();
+    // Optional for shards written before footprint accounting existed.
+    if (const JsonValue *eb = v.find("estimated_bytes"))
+        r.estimatedBytes = eb->asU64();
     return r;
 }
 
@@ -1140,6 +1143,11 @@ experimentResultToJson(const ExperimentResult &result)
     w.u64("latency_p50", result.latencyP50);
     w.u64("latency_p99", result.latencyP99);
     w.u64("latency_p999", result.latencyP999);
+    // estimatedBytes is deterministic for a given access history, so it
+    // checkpoints safely. peakRssBytes / wallSeconds are environmental
+    // (host- and concurrency-dependent) and are deliberately NOT
+    // serialized: a campaign-loaded cell reports 0 for them.
+    w.u64("estimated_bytes", result.estimatedBytes);
     w.close();
     return out;
 }

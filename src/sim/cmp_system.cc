@@ -81,6 +81,9 @@ CmpSystem::CmpSystem(const CmpConfig &config) : cfg(config)
         queues[s].removals.reserve(cfg.batchWindow);
         queues[s].requests.reserve(cfg.batchWindow);
     }
+    // Serial default: every slice on lane 0.
+    sliceShard.assign(cfg.numSlices, 0);
+    rebuildLaneLists();
 }
 
 CacheId
@@ -158,24 +161,61 @@ CmpSystem::setShards(unsigned shards)
         shards = 1;
     if (shards > cfg.numSlices)
         shards = static_cast<unsigned>(cfg.numSlices);
-    if (shards == shardCount)
-        return;
     assert(dirtySlices.empty() &&
            "setShards must not interrupt an open batch window");
-    shardGroup.reset();
-    shardPool.reset();
-    shardCount = shards;
-    shardDirty.assign(shardCount, {});
-    shardOccupancy.assign(shardCount, {0, 0});
-    if (shardCount > 1) {
-        for (auto &list : shardDirty)
-            list.reserve(cfg.numSlices);
-        // The calling thread drives shard 0, so N shards need N-1
-        // workers; the pool persists across windows (TaskGroup barriers
-        // join each round without re-spawning threads).
-        shardPool = std::make_unique<ThreadPool>(shardCount - 1);
-        shardGroup = std::make_unique<TaskGroup>(*shardPool);
+    if (shards != shardCount) {
+        shardGroup.reset();
+        shardPool.reset();
+        shardCount = shards;
+        shardDirty.assign(shardCount, {});
+        shardOccupancy.assign(shardCount, {0, 0});
+        if (shardCount > 1) {
+            for (auto &list : shardDirty)
+                list.reserve(cfg.numSlices);
+            // The calling thread drives shard 0, so N shards need N-1
+            // workers; the pool persists across windows (TaskGroup
+            // barriers join each round without re-spawning threads).
+            shardPool = std::make_unique<ThreadPool>(shardCount - 1);
+            shardGroup = std::make_unique<TaskGroup>(*shardPool);
+        }
     }
+    // Default topology-aware mapping: lane k owns the contiguous,
+    // balanced slice group [floor(k*n/K), floor((k+1)*n/K)) — dense in
+    // slice-allocation order, never an empty lane while K <= n. Custom
+    // topologies go through setShardMapping() afterwards.
+    for (std::size_t s = 0; s < cfg.numSlices; ++s)
+        sliceShard[s] = static_cast<std::uint32_t>(
+            (s * shardCount) / cfg.numSlices);
+    rebuildLaneLists();
+}
+
+void
+CmpSystem::setShardMapping(std::vector<std::uint32_t> mapping)
+{
+    assert(dirtySlices.empty() &&
+           "setShardMapping must not interrupt an open batch window");
+    if (mapping.size() != cfg.numSlices)
+        throw std::invalid_argument(
+            "setShardMapping: mapping names " +
+            std::to_string(mapping.size()) + " slices, system has " +
+            std::to_string(cfg.numSlices));
+    for (const std::uint32_t lane : mapping)
+        if (lane >= shardCount)
+            throw std::invalid_argument(
+                "setShardMapping: lane " + std::to_string(lane) +
+                " out of range (shards = " + std::to_string(shardCount) +
+                ")");
+    sliceShard = std::move(mapping);
+    rebuildLaneLists();
+}
+
+void
+CmpSystem::rebuildLaneLists()
+{
+    laneSlices.assign(shardCount, {});
+    for (std::size_t s = 0; s < sliceShard.size(); ++s)
+        laneSlices[sliceShard[s]].push_back(
+            static_cast<std::uint32_t>(s));
 }
 
 void
@@ -184,10 +224,11 @@ CmpSystem::flush()
     if (dirtySlices.empty())
         return;
 
-    // Phase 1 — replay: slice-local directory work. Shards own disjoint
-    // slices (slice mod shardCount), queues are fixed for the whole
-    // flush, and nothing here touches the private caches, so running
-    // the shards concurrently cannot change any observable state.
+    // Phase 1 — replay: slice-local directory work. Lanes own disjoint
+    // slices (the sliceShard mapping; contiguous groups by default),
+    // queues are fixed for the whole flush, and nothing here touches
+    // the private caches, so running the lanes concurrently cannot
+    // change any observable state.
     if (shardCount > 1 && dirtySlices.size() > 1) {
         for (std::size_t k = 1; k < shardCount; ++k) {
             if (shardDirty[k].empty())
@@ -398,11 +439,22 @@ std::pair<std::size_t, std::size_t>
 CmpSystem::occupancySpan(std::size_t shard) const
 {
     std::size_t valid = 0, total = 0;
-    for (std::size_t s = shard; s < slices.size(); s += shardCount) {
+    for (const std::uint32_t s : laneSlices[shard]) {
         valid += slices[s]->validEntries();
         total += slices[s]->capacity();
     }
     return {valid, total};
+}
+
+std::size_t
+CmpSystem::estimatedMemoryBytes() const
+{
+    std::size_t total = sizeof(*this);
+    for (const auto &s : slices)
+        total += s->memoryBytes();
+    for (const auto &c : caches)
+        total += c->memoryBytes();
+    return total;
 }
 
 double
@@ -478,8 +530,8 @@ CmpSystem::directoryCoversCaches() const
 
     // Shard-aware: at large core counts the probe walk dominates, so
     // enumerate every cache's resident set once, bucket the blocks by
-    // owning lane (slice mod shards), and fan the probing out over the
-    // persistent shard lanes. Lanes probe disjoint slice state, making
+    // owning lane (the sliceShard mapping), and fan the probing out
+    // over the persistent shard lanes. Lanes probe disjoint slice state, making
     // the fan-out race-free; only the scheduler is touched, hence the
     // const_cast.
     struct ResidentBlock

@@ -43,12 +43,18 @@
  * state — and the driver exploits that inside a single experiment.
  * Each flush of a batch window runs in two phases:
  *
- *  1. *Replay* (parallel): dirty slices are partitioned across shards
- *     (slice mod shardCount); each shard drives its slices' staged
- *     removals and request runs through the slice-local directory and
- *     context in exact staging order. Shards touch disjoint
- *     slice/queue/context state, so the phase is race-free by
- *     construction, and a TaskGroup barrier joins it.
+ *  1. *Replay* (parallel): dirty slices are partitioned across shard
+ *     lanes by the slice->lane mapping. The default is topology-aware:
+ *     each lane owns one *contiguous* group of ~numSlices/shards slice
+ *     ids, so a lane's slice state (directories, queues, contexts —
+ *     allocated in slice order) stays dense in memory instead of
+ *     striding shardCount-sized gaps the way the historical
+ *     `slice mod shardCount` assignment did; setShardMapping() installs
+ *     any custom mapping. Each lane drives its slices' staged removals
+ *     and request runs through the slice-local directory and context in
+ *     exact staging order. Lanes touch disjoint slice/queue/context
+ *     state, so the phase is race-free by construction, and a TaskGroup
+ *     barrier joins it.
  *  2. *Apply* (serial, canonical first-touch order): the recorded
  *     outcomes are applied to the private caches and system counters by
  *     the calling thread — the identical call sequence the serial
@@ -57,7 +63,9 @@
  *     directories are only read/written in phase 1).
  *
  * Per-slice statistics, cache state, and therefore every merged
- * experiment metric are bit-identical at any shard count; only
+ * experiment metric are bit-identical at any shard count *and any
+ * slice->lane mapping* — phase 2 always applies outcomes serially in
+ * the first-touch dirtySlices order, which no mapping affects; only
  * wall-clock changes. Parallelism within a window is bounded by the
  * window's dirty-slice count, so sharding pays off with batchWindow >>
  * 1 (cells use CmpConfig::batchWindow; the determinism contract is
@@ -223,6 +231,33 @@ class CmpSystem
     unsigned shards() const { return shardCount; }
 
     /**
+     * Install an explicit slice->lane mapping (the topology hook).
+     * setShards() installs the default contiguous-group mapping; call
+     * this afterwards to override it — e.g. to co-locate slices by NUMA
+     * domain or mesh quadrant. Results are bit-identical under any
+     * mapping (see file comment); only locality/wall-clock changes.
+     * @param mapping one lane id per slice; every id < shards().
+     * @throws std::invalid_argument on a mis-sized mapping or an
+     *         out-of-range lane id.
+     */
+    void setShardMapping(std::vector<std::uint32_t> mapping);
+
+    /** Lane that owns @p slice under the mapping in force. */
+    std::size_t shardOfSlice(std::size_t slice) const
+    {
+        return sliceShard[slice];
+    }
+
+    /**
+     * Estimated host bytes of the simulated state: every directory
+     * slice (Directory::memoryBytes) plus every private cache. This is
+     * the dominant, deterministic part of the process footprint — the
+     * RAM-budgeting number ext_scalability_sim reports per cell
+     * alongside the (environmental) peak RSS.
+     */
+    std::size_t estimatedMemoryBytes() const;
+
+    /**
      * Attach @p model (non-owning; nullptr detaches): every directory
      * access outcome is charged model->accessLatency() cycles into
      * stats().latency during the serial apply phase — canonical order
@@ -332,11 +367,14 @@ class CmpSystem
                                 std::span<const DirRequest> requests,
                                 const DirAccessContext &ctx);
 
-    /** Shard owning @p slice under the current shard count. */
+    /** Shard lane owning @p slice under the mapping in force. */
     std::size_t shardOf(std::size_t slice) const
     {
-        return slice % shardCount;
+        return sliceShard[slice];
     }
+
+    /** Rebuild the per-lane slice lists from sliceShard. */
+    void rebuildLaneLists();
 
     /** (validEntries, capacity) summed over shard @p shard's slices. */
     std::pair<std::size_t, std::size_t>
@@ -357,6 +395,10 @@ class CmpSystem
 
     // --- shard scheduler (see file comment; serial when shardCount <= 1) ---
     unsigned shardCount = 1;
+    /** Lane id per slice (default: contiguous groups; see setShards). */
+    std::vector<std::uint32_t> sliceShard;
+    /** Slice ids owned by each lane (the mapping, inverted). */
+    std::vector<std::vector<std::uint32_t>> laneSlices;
     /** Per-shard dirty-slice lists (subsequences of dirtySlices). */
     std::vector<std::vector<std::uint32_t>> shardDirty;
     /** Per-shard occupancy partial sums, merged in shard order. */

@@ -1,12 +1,25 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include <sys/resource.h>
 
 #include "model/cost_model.hh"
 #include "workload/scenario.hh"
 
 namespace cdir {
+
+std::uint64_t
+processPeakRssBytes()
+{
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
 
 namespace {
 
@@ -150,6 +163,7 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
     system.resetStats();
 
     ExperimentResult result;
+    const auto measureStart = std::chrono::steady_clock::now();
     if (options.intervalAccesses == 0) {
         system.run(*source, options.measureAccesses,
                    options.occupancySampleEvery);
@@ -157,6 +171,10 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
         runMeasureWithIntervals(system, *source, options,
                                 result.intervals);
     }
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      measureStart)
+            .count();
     result.workload = workload.name;
     result.organization = system.slice(0).name();
     result.directory = system.aggregateDirectoryStats();
@@ -169,6 +187,8 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
     result.forcedInvalidationRate =
         result.directory.forcedInvalidationRate();
     result.avgOccupancy = system.stats().directoryOccupancy.mean();
+    result.estimatedBytes = system.estimatedMemoryBytes();
+    result.peakRssBytes = processPeakRssBytes();
     if (costs) {
         result.costModel = costs->name();
         const LatencyHistogram &lat = result.system.latency;

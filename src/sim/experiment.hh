@@ -53,7 +53,26 @@ struct ExperimentResult
     std::uint64_t latencyP50 = 0;
     std::uint64_t latencyP99 = 0;
     std::uint64_t latencyP999 = 0;
+    /**
+     * Estimated host bytes of the simulated system (directory slices +
+     * private caches) at the end of the measure run, from
+     * CmpSystem::estimatedMemoryBytes(). Deterministic for a given
+     * access history, so it is serialized with campaign checkpoints.
+     */
+    std::uint64_t estimatedBytes = 0;
+    /**
+     * Process peak RSS (getrusage ru_maxrss) observed after the run, in
+     * bytes, and the cell's measure-phase wall-clock seconds. Both are
+     * *environmental* — they depend on the host, concurrency, and which
+     * cells shared the process — so they are reported but NOT
+     * serialized; cells loaded from a campaign checkpoint carry 0 here.
+     */
+    std::uint64_t peakRssBytes = 0;
+    double wallSeconds = 0.0;
 };
+
+/** Current process peak RSS in bytes (getrusage; 0 if unavailable). */
+std::uint64_t processPeakRssBytes();
 
 /** Knobs for experiment length (defaults keep full runs under minutes). */
 struct ExperimentOptions

@@ -145,6 +145,36 @@ TEST(CampaignResultJson, WriteParseWriteIsAFixedPoint)
     EXPECT_EQ(reparsed.intervals.windows.size(),
               result.intervals.windows.size());
     EXPECT_EQ(reparsed.latencyP999, result.latencyP999);
+    // Footprint accounting: the deterministic estimate checkpoints;
+    // the environmental fields (peak RSS, wall-clock) deliberately do
+    // not — a loaded cell reports 0 for them.
+    EXPECT_GT(result.estimatedBytes, 0u);
+    EXPECT_EQ(reparsed.estimatedBytes, result.estimatedBytes);
+    EXPECT_GT(result.peakRssBytes, 0u);
+    EXPECT_EQ(reparsed.peakRssBytes, 0u);
+    EXPECT_EQ(reparsed.wallSeconds, 0.0);
+}
+
+TEST(CampaignResultJson, PreFootprintShardsStillParse)
+{
+    // Shards written before estimated_bytes existed lack the key; the
+    // parser must treat it as optional instead of rejecting the file.
+    const SweepSpec spec = campaignGrid();
+    ExperimentOptions opts;
+    opts.warmupAccesses = 2000;
+    opts.measureAccesses = 2000;
+    const ExperimentResult result =
+        runExperiment(spec.configs()[0].config,
+                      spec.workloads()[0].workload, opts);
+    std::string json = experimentResultToJson(result);
+    const std::string key = ", \"estimated_bytes\": ";
+    const std::size_t at = json.find(key);
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t end = json.find_first_of(",}", at + key.size());
+    json.erase(at, end - at);
+    const ExperimentResult reparsed = parseExperimentResult(json);
+    EXPECT_EQ(reparsed.estimatedBytes, 0u);
+    EXPECT_EQ(reparsed.directory.lookups, result.directory.lookups);
 }
 
 TEST(CampaignResultJson, UntimedResultRoundTripsToo)

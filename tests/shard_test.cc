@@ -376,6 +376,188 @@ TEST(ShardEngine, NonPowerOfTwoSliceCountIsRejected)
     EXPECT_THROW(CmpSystem{cfg}, std::invalid_argument);
 }
 
+// --- topology-aware lane mapping ---------------------------------------------
+
+TEST(ShardEngine, DefaultMappingIsContiguousAndBalanced)
+{
+    CmpSystem system(
+        goldenReplayConfig("Cuckoo", CmpConfigKind::SharedL2));
+    const std::size_t slices = system.numSlices();
+    system.setShards(3);
+    // floor(s * K / n): lanes are contiguous slice groups, monotone in
+    // the slice index, never empty, and balanced within one slice.
+    std::vector<std::size_t> perLane(system.shards(), 0);
+    std::size_t prev = 0;
+    for (std::size_t s = 0; s < slices; ++s) {
+        const std::size_t lane = system.shardOfSlice(s);
+        ASSERT_LT(lane, system.shards());
+        EXPECT_GE(lane, prev) << "slice " << s;
+        prev = lane;
+        ++perLane[lane];
+    }
+    for (std::size_t lane = 0; lane < perLane.size(); ++lane) {
+        EXPECT_GE(perLane[lane], slices / system.shards()) << lane;
+        EXPECT_LE(perLane[lane], slices / system.shards() + 1) << lane;
+    }
+}
+
+TEST(ShardEngine, CustomMappingKeepsBitIdentity)
+{
+    const CmpConfig cfg =
+        goldenReplayConfig("Cuckoo", CmpConfigKind::SharedL2);
+
+    CmpSystem serial(cfg);
+    SyntheticWorkload serial_gen(stressWorkload(23));
+    serial.run(serial_gen, 16000, 500);
+
+    // Strided (anti-contiguous) placement — the worst case for the
+    // default policy — must still replay bit-identically, because the
+    // serial apply phase follows first-touch order, not lane order.
+    CmpSystem mapped(cfg);
+    mapped.setShards(2);
+    mapped.setShardMapping({1, 0, 1, 0});
+    EXPECT_EQ(mapped.shardOfSlice(0), 1u);
+    EXPECT_EQ(mapped.shardOfSlice(3), 0u);
+    SyntheticWorkload gen(stressWorkload(23));
+    mapped.run(gen, 16000, 500);
+    expectSystemsIdentical(serial, mapped, "custom mapping");
+}
+
+TEST(ShardEngine, InvalidMappingIsRejected)
+{
+    CmpSystem system(
+        goldenReplayConfig("Cuckoo", CmpConfigKind::SharedL2));
+    system.setShards(2);
+    // Wrong size (4 slices exist).
+    EXPECT_THROW(system.setShardMapping({0, 1}), std::invalid_argument);
+    // Lane index beyond the shard count.
+    EXPECT_THROW(system.setShardMapping({0, 0, 0, 2}),
+                 std::invalid_argument);
+    // The rejected calls left the previous mapping intact.
+    for (std::size_t s = 0; s < system.numSlices(); ++s)
+        EXPECT_LT(system.shardOfSlice(s), system.shards());
+}
+
+TEST(ShardEngine, SetShardsRestoresDefaultMapping)
+{
+    CmpSystem system(
+        goldenReplayConfig("Cuckoo", CmpConfigKind::SharedL2));
+    system.setShards(2);
+    system.setShardMapping({1, 0, 1, 0});
+    system.setShards(2); // same count, but the default map comes back
+    for (std::size_t s = 0; s < system.numSlices(); ++s)
+        EXPECT_EQ(system.shardOfSlice(s),
+                  s * 2 / system.numSlices());
+}
+
+// --- 256-core differential stress --------------------------------------------
+
+/** 256-core, 256-slice CMP with one small private cache per core. */
+CmpConfig
+thousandCoreConfig(const char *organization, SharerFormat format)
+{
+    CmpConfig cfg;
+    cfg.kind = CmpConfigKind::PrivateL2;
+    cfg.numCores = 256;
+    cfg.numSlices = 256;
+    cfg.privateCache = CacheConfig{64, 2}; // 128 frames per core
+    cfg.directory.organization = organization;
+    cfg.directory.format = format;
+    cfg.directory.ways = 4;
+    cfg.directory.sets = 32; // 128 entries per slice (1x)
+    return cfg;
+}
+
+WorkloadParams
+thousandCoreWorkload()
+{
+    WorkloadParams wl;
+    wl.name = "256-core-stress";
+    wl.numCores = 256;
+    wl.seed = 90210;
+    wl.codeBlocks = 4096;
+    wl.sharedBlocks = 16384;
+    wl.privateBlocksPerCore = 96;
+    wl.writeFraction = 0.3;
+    return wl;
+}
+
+TEST(ShardEngine, TwoFiftySixSliceBitIdentityAcrossShardCounts)
+{
+    // The tentpole contract at CMP scale: a 256-slice system running
+    // the memory-lean formats stays bit-identical at shards {1, 2, 4}.
+    const struct
+    {
+        const char *organization;
+        SharerFormat format;
+    } kConfigs[] = {
+        {"Cuckoo", SharerFormat::Compressed},
+        {"Sparse", SharerFormat::Hierarchical},
+    };
+    for (const auto &cc : kConfigs) {
+        const CmpConfig cfg =
+            thousandCoreConfig(cc.organization, cc.format);
+        CmpSystem serial(cfg);
+        SyntheticWorkload serial_gen(thousandCoreWorkload());
+        serial.run(serial_gen, 80000, 2000);
+
+        for (const unsigned shards : {2u, 4u}) {
+            CmpSystem sharded(cfg);
+            sharded.setShards(shards);
+            SyntheticWorkload gen(thousandCoreWorkload());
+            sharded.run(gen, 80000, 2000);
+            expectSystemsIdentical(serial, sharded,
+                                   std::string(cc.organization) +
+                                       " 256-slice shards " +
+                                       std::to_string(shards));
+        }
+    }
+}
+
+TEST(ShardEngine, LeanFormatsMatchFullVectorSystemStats)
+{
+    // Compressed and Hierarchical are precise representations whose
+    // modeled storage does not alter protocol decisions, so a whole
+    // 256-core system run must produce identical statistics to the
+    // full-vector baseline — the system-level half of the lean-vs-full
+    // equivalence audit.
+    const CmpConfig base =
+        thousandCoreConfig("Cuckoo", SharerFormat::FullVector);
+    CmpSystem full(base);
+    SyntheticWorkload full_gen(thousandCoreWorkload());
+    full.run(full_gen, 60000, 2000);
+
+    for (const SharerFormat format :
+         {SharerFormat::Compressed, SharerFormat::Hierarchical}) {
+        CmpConfig cfg = base;
+        cfg.directory.format = format;
+        CmpSystem lean(cfg);
+        SyntheticWorkload gen(thousandCoreWorkload());
+        lean.run(gen, 60000, 2000);
+        expectSystemsIdentical(full, lean,
+                               "lean format vs full vector");
+    }
+}
+
+TEST(ShardEngine, EstimatedMemoryBytesIsShardInvariant)
+{
+    // The footprint estimate is part of the serialized campaign record,
+    // so it must be as deterministic as every other counter.
+    const CmpConfig cfg =
+        thousandCoreConfig("Cuckoo", SharerFormat::Compressed);
+    CmpSystem serial(cfg);
+    SyntheticWorkload serial_gen(thousandCoreWorkload());
+    serial.run(serial_gen, 40000);
+    const std::size_t expected = serial.estimatedMemoryBytes();
+    EXPECT_GT(expected, 0u);
+
+    CmpSystem sharded(cfg);
+    sharded.setShards(4);
+    SyntheticWorkload gen(thousandCoreWorkload());
+    sharded.run(gen, 40000);
+    EXPECT_EQ(sharded.estimatedMemoryBytes(), expected);
+}
+
 TEST(ShardEngine, ReShardingBetweenRunsKeepsDeterminism)
 {
     const CmpConfig cfg =

@@ -9,8 +9,10 @@
 
 #include <set>
 
+#include "common/bit_util.hh"
 #include "common/rng.hh"
 #include "sharers/coarse_vector.hh"
+#include "sharers/compressed_vector.hh"
 #include "sharers/full_vector.hh"
 #include "sharers/hierarchical_vector.hh"
 #include "sharers/sharer_rep.hh"
@@ -32,6 +34,7 @@ repName(const testing::TestParamInfo<RepCase> &info)
     const char *fmt =
         info.param.format == SharerFormat::FullVector     ? "Full"
         : info.param.format == SharerFormat::CoarseVector ? "Coarse"
+        : info.param.format == SharerFormat::Compressed   ? "Compressed"
                                                           : "Hier";
     return std::string(fmt) + "_" + std::to_string(info.param.caches);
 }
@@ -121,13 +124,17 @@ TEST_P(SharerRepProperty, ClearEmpties)
     EXPECT_TRUE(targets.none());
 }
 
-TEST_P(SharerRepProperty, DuplicateAddIsIdempotentWhilePrecise)
+TEST_P(SharerRepProperty, DuplicateAddIsIdempotent)
 {
-    if (GetParam().format == SharerFormat::CoarseVector)
-        GTEST_SKIP() << "coarse mode tolerates only unique adds";
+    // Every format, coarse mode included: add() tracks membership, so
+    // re-adding an existing sharer must not inflate the count (the
+    // directory's read-hit path calls add() for the requester whether
+    // or not it is already recorded).
     rep->add(2);
     rep->add(2);
     EXPECT_EQ(rep->count(), 1u);
+    EXPECT_TRUE(rep->remove(2));
+    EXPECT_TRUE(rep->empty());
 }
 
 TEST_P(SharerRepProperty, StorageBitsPositive)
@@ -145,7 +152,10 @@ INSTANTIATE_TEST_SUITE_P(
                     RepCase{SharerFormat::CoarseVector, 1024},
                     RepCase{SharerFormat::Hierarchical, 16},
                     RepCase{SharerFormat::Hierarchical, 64},
-                    RepCase{SharerFormat::Hierarchical, 1024}),
+                    RepCase{SharerFormat::Hierarchical, 1024},
+                    RepCase{SharerFormat::Compressed, 16},
+                    RepCase{SharerFormat::Compressed, 64},
+                    RepCase{SharerFormat::Compressed, 1024}),
     repName);
 
 // --- FullVector specifics -----------------------------------------------------
@@ -247,6 +257,39 @@ TEST(CoarseVector, CoarseModeRetainsGroupBitsUntilEmpty)
     EXPECT_TRUE(targets.test(1));
 }
 
+TEST(CoarseVector, CoarseReAddDoesNotDoubleCount)
+{
+    // Regression pin: add() used to bump the sharer count
+    // unconditionally in coarse mode, so re-adding a tracked sharer
+    // inflated count() and the removal sequence could never drain the
+    // entry back to empty (leaking the directory entry).
+    CoarseVectorRep rep(64);
+    rep.add(1);
+    rep.add(2);
+    rep.add(3);
+    ASSERT_TRUE(rep.isCoarse());
+    ASSERT_EQ(rep.count(), 3u);
+    rep.add(2); // re-add while coarse
+    EXPECT_EQ(rep.count(), 3u);
+    EXPECT_FALSE(rep.remove(1));
+    EXPECT_FALSE(rep.remove(2));
+    EXPECT_TRUE(rep.remove(3));
+    EXPECT_TRUE(rep.empty());
+}
+
+TEST(CoarseVector, CoarseRemoveOfUntrackedCacheIsANoOp)
+{
+    CoarseVectorRep rep(64);
+    rep.add(0);
+    rep.add(1);
+    rep.add(2);
+    ASSERT_TRUE(rep.isCoarse());
+    // 3 shares group 0's coarse bit but was never added; removing it
+    // must not disturb the count.
+    EXPECT_FALSE(rep.remove(3));
+    EXPECT_EQ(rep.count(), 3u);
+}
+
 TEST(CoarseVector, SmallSystemsDegenerate)
 {
     // 2 caches: budget = 2 bits, groups of 1 — effectively full vector.
@@ -315,15 +358,109 @@ TEST(Hierarchical, RootStorageBitsFormula)
     EXPECT_EQ(sharerStorageBits(SharerFormat::Hierarchical, 16), 4u);
 }
 
+TEST(Hierarchical, NonSquareClusterGeometryIsExact)
+{
+    // 128 caches: clusters of isqrtCeil(128) = 12, which pack into 11
+    // clusters — one less than ceil(sqrt(128)) = 12. The float-based
+    // derivation used to charge the extra cluster.
+    EXPECT_EQ(sharerStorageBits(SharerFormat::Hierarchical, 128), 11u);
+    HierarchicalVectorRep rep(128);
+    EXPECT_EQ(rep.clusterSize(), 12u);
+    rep.add(127); // last, partially filled cluster
+    EXPECT_TRUE(rep.mightContain(127));
+    EXPECT_EQ(rep.allocatedLeaves(), 1u);
+
+    // 8192 caches (the 4096-core Shared-L2 grid point): 91 clusters of
+    // 91 exactly covers 8281 >= 8192.
+    EXPECT_EQ(sharerStorageBits(SharerFormat::Hierarchical, 8192), 91u);
+}
+
+TEST(Hierarchical, IsqrtExactAtLargeNonSquares)
+{
+    // Around a large perfect square, where a double sqrt can land on
+    // the wrong side: 94906265^2 just exceeds 2^53.
+    constexpr std::uint64_t r = 94906265;
+    static_assert(isqrtFloor(r * r) == r);
+    static_assert(isqrtFloor(r * r - 1) == r - 1);
+    static_assert(isqrtCeil(r * r) == r);
+    static_assert(isqrtCeil(r * r + 1) == r + 1);
+    static_assert(isqrtCeil(0) == 0);
+    static_assert(isqrtCeil(1) == 1);
+    static_assert(isqrtCeil(2) == 2);
+    EXPECT_EQ(isqrtFloor(~std::uint64_t{0}), 4294967295u);
+}
+
+// --- Compressed specifics ----------------------------------------------------
+
+TEST(Compressed, StorageChargeMatchesFullVector)
+{
+    // The compressed format is a host-RAM optimization, not a protocol
+    // change: the modeled storage bits stay one per cache, so every
+    // behavioural statistic is bit-identical to a FullVector run.
+    EXPECT_EQ(sharerStorageBits(SharerFormat::Compressed, 1024), 1024u);
+    CompressedVectorRep rep(4096);
+    EXPECT_EQ(rep.storageBits(), 4096u);
+    EXPECT_TRUE(rep.precise());
+}
+
+TEST(Compressed, LeanerThanFullVectorWhenSparse)
+{
+    FullVectorRep full(4096);
+    CompressedVectorRep lean(4096);
+    full.add(7);
+    lean.add(7);
+    // One sharer: the full vector holds 4096 bits of backing words,
+    // the compressed rep one (index, word) pair.
+    EXPECT_LT(lean.memoryBytes(), full.memoryBytes());
+}
+
+TEST(Compressed, MatchesFullVectorUnderChurnAt1024Caches)
+{
+    // Lean-vs-full equivalence at CMP scale: identical add/remove
+    // streams must produce identical counts, membership answers, and
+    // invalidation target sets at every step.
+    constexpr std::size_t kCaches = 1024;
+    FullVectorRep full(kCaches);
+    CompressedVectorRep lean(kCaches);
+    Rng rng(2026);
+    std::set<CacheId> truth;
+    for (int step = 0; step < 4000; ++step) {
+        const auto cache = static_cast<CacheId>(rng.below(kCaches));
+        if (rng.chance(0.55)) {
+            full.add(cache);
+            lean.add(cache);
+            truth.insert(cache);
+        } else {
+            EXPECT_EQ(full.remove(cache), lean.remove(cache))
+                << "step " << step;
+            truth.erase(cache);
+        }
+        ASSERT_EQ(lean.count(), full.count()) << "step " << step;
+        ASSERT_EQ(lean.mightContain(cache), full.mightContain(cache));
+        if (step % 97 == 0) {
+            DynamicBitset a, b;
+            full.invalidationTargets(a);
+            lean.invalidationTargets(b);
+            ASSERT_TRUE(a == b) << "step " << step;
+            ASSERT_EQ(a.count(), truth.size());
+        }
+    }
+    full.clear();
+    lean.clear();
+    EXPECT_TRUE(lean.empty());
+    EXPECT_EQ(lean.count(), full.count());
+}
+
 TEST(SharerFactory, BuildsEveryFormat)
 {
     for (SharerFormat f :
          {SharerFormat::FullVector, SharerFormat::CoarseVector,
-          SharerFormat::Hierarchical}) {
+          SharerFormat::Hierarchical, SharerFormat::Compressed}) {
         auto rep = makeSharerRep(f, 32);
         ASSERT_NE(rep, nullptr);
         rep->add(5);
         EXPECT_TRUE(rep->mightContain(5));
+        EXPECT_GT(rep->memoryBytes(), 0u);
     }
 }
 

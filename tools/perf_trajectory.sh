@@ -20,7 +20,7 @@ build=${1:?usage: perf_trajectory.sh <build-dir> <output.json> [label]}
 out=${2:?usage: perf_trajectory.sh <build-dir> <output.json> [label]}
 label=${3:-dev}
 
-for bin in micro_directory_ops end_to_end_rate; do
+for bin in micro_directory_ops end_to_end_rate ext_scalability_sim; do
     if [ ! -x "$build/$bin" ]; then
         echo "perf_trajectory.sh: $build/$bin not built" >&2
         exit 1
@@ -29,7 +29,8 @@ done
 
 micro_json=$(mktemp)
 e2e_json=$(mktemp)
-trap 'rm -f "$micro_json" "$e2e_json"' EXIT
+scal_json=$(mktemp)
+trap 'rm -f "$micro_json" "$e2e_json" "$scal_json"' EXIT
 
 "$build/micro_directory_ops" \
     --benchmark_filter='BM_ContextAccessChurn/(Cuckoo|Sparse)|BM_AccessBatch/Cuckoo' \
@@ -37,11 +38,20 @@ trap 'rm -f "$micro_json" "$e2e_json"' EXIT
 
 "$build/end_to_end_rate" --accesses=500000 >"$e2e_json"
 
+# Thousand-core leg: the 256-core tier of the empirical Fig. 4
+# companion, Cuckoo + Sparse rows only (a few seconds). The wall_s /
+# peak_rss_mb tail columns make per-commit simulation cost at scale a
+# visible series, not just the small-CMP end-to-end rate above.
+"$build/ext_scalability_sim" --max-cores=256 --filter=Cuckoo,Sparse \
+    --format=json >"$scal_json"
+
 {
     printf '{\n"label": "%s",\n"micro": ' "$label"
     cat "$micro_json"
     printf ',\n"end_to_end": '
     cat "$e2e_json"
+    printf ',\n"scalability_256": '
+    cat "$scal_json"
     printf '}\n'
 } >"$out"
 
