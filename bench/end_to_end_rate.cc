@@ -14,7 +14,10 @@
  *  - Sparse, untimed: a conventional-organization baseline;
  *  - Cuckoo + mesh cost model: the same run timed, so the trajectory
  *    tracks the cost-model overhead (expected small: one virtual call
- *    and a histogram add per directory outcome, only when enabled).
+ *    and a histogram add per directory outcome, only when enabled);
+ *  - Cuckoo + batch64: the batched-staging driver shape;
+ *  - Cuckoo + fleet generator: the multi-tenant workload's
+ *    generator-side cost (Zipf draws, per-tenant scatter, churn).
  *
  * Wall-clock throughput is machine-dependent by nature; the trajectory
  * compares like with like across commits on the same runner. Results
@@ -33,6 +36,7 @@
 #include <vector>
 
 #include "sim_common.hh"
+#include "workload/fleet.hh"
 
 using namespace cdir;
 using namespace cdir::bench;
@@ -43,8 +47,9 @@ struct RateRun
 {
     const char *name;
     const char *organization;
-    const char *costModel;       //!< "" = untimed
-    std::size_t batchWindow = 1; //!< CmpConfig::batchWindow
+    const char *costModel;        //!< "" = untimed
+    std::size_t batchWindow = 1;  //!< CmpConfig::batchWindow
+    const char *scenario = nullptr; //!< dynamic workload spec; null = DB2
 };
 
 constexpr RateRun kRuns[] = {
@@ -56,6 +61,12 @@ constexpr RateRun kRuns[] = {
     // and per-slice run batching — at window 1 that machinery is idle,
     // so regressions in it were invisible to the committed numbers.
     {"Cuckoo/batch64", "Cuckoo", "", 64},
+    // Fleet-generator leg: the multi-tenant workload pays for Zipf
+    // sampling, per-tenant scatter, and churn/storm bookkeeping per
+    // access — a different generator-side profile than the Table 2
+    // synthetics, so generator regressions show up here first.
+    {"Cuckoo/fleet", "Cuckoo", "", 1,
+     "fleet:tenants=16:blocks=8192:churn=200000:storm=500000"},
 };
 
 DirectoryParams
@@ -76,7 +87,8 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnFlagUnused(cli, {"filter", "trace", "scenario", "cost-model"});
+    warnFlagUnused(cli, {"filter", "trace", "scenario", "cost-model",
+                         "probe-every"});
 
     std::uint64_t accesses = 1'000'000;
     for (int i = 1; i < argc; ++i) {
@@ -109,8 +121,10 @@ main(int argc, char **argv)
             CmpConfigKind::SharedL2, organizationParams(run.organization));
         config.batchWindow = run.batchWindow;
         WorkloadParams workload =
-            paperWorkloadParams(PaperWorkload::OltpDb2, false,
-                                config.numCores);
+            run.scenario != nullptr
+                ? dynamicWorkloadParams(run.scenario)
+                : paperWorkloadParams(PaperWorkload::OltpDb2, false,
+                                      config.numCores);
 
         ExperimentOptions opts;
         opts.warmupAccesses = accesses / 4;

@@ -141,7 +141,7 @@ int
 main(int argc, char **argv)
 {
     HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnFlagUnused(cli, {"trace", "scenario", "cost-model"});
+    warnFlagUnused(cli, {"trace", "scenario", "cost-model", "probe-every"});
     const std::uint64_t maxCores =
         flagU64(argc, argv, "max-cores", 4096);
 

@@ -104,7 +104,8 @@ main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     warnFlagUnused(cli,
-                   {"filter", "trace", "scenario", "shards", "cost-model"});
+                   {"filter", "trace", "scenario", "shards", "cost-model",
+                    "probe-every"});
     const SweepRunner runner(cli.sweep());
 
     // One grid cell per (organization, core count).

@@ -41,7 +41,7 @@ int
 main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnFlagUnused(cli, {"trace", "scenario"});
+    warnFlagUnused(cli, {"trace", "scenario", "probe-every"});
     const SweepRunner runner(cli.sweep());
 
     // Both worst cases form one two-cell grid; map() runs the two

@@ -99,7 +99,8 @@ main(int argc, char **argv)
 {
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     warnFlagUnused(cli,
-                   {"filter", "trace", "scenario", "shards", "cost-model"});
+                   {"filter", "trace", "scenario", "shards", "cost-model",
+                    "probe-every"});
     const SweepRunner runner(cli.sweep());
 
     // Grid: system-major, then organization, then core count.

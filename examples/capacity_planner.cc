@@ -93,7 +93,8 @@ main(int argc, char **argv)
     };
 
     warnFlagUnused(cli,
-                   {"filter", "trace", "scenario", "shards", "cost-model"});
+                   {"filter", "trace", "scenario", "shards", "cost-model",
+                    "probe-every"});
     const SweepRunner runner(cli.sweep());
     const auto costs = runner.map<DirCost>(
         std::size(candidates), [&](std::size_t i) {

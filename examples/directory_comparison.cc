@@ -33,7 +33,7 @@ main(int argc, char **argv)
         }
     }
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
-    warnFlagUnused(cli, {"trace", "scenario"});
+    warnFlagUnused(cli, {"trace", "scenario", "probe-every"});
 
     struct Contender
     {

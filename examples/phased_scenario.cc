@@ -28,7 +28,7 @@ main(int argc, char **argv)
     const HarnessOptions cli = parseHarnessOptions(argc, argv);
     // This example runs its one hard-coded scenario (that is the
     // point); grid-flavoured flags have nothing to apply to.
-    warnFlagUnused(cli, {"filter", "trace", "scenario"});
+    warnFlagUnused(cli, {"filter", "trace", "scenario", "probe-every"});
 
     // --- 1. declare the schedule ------------------------------------
     const std::size_t cores = 8;

@@ -784,6 +784,7 @@ experimentOptionsToJson(const ExperimentOptions &o)
     w.u64("shards", o.shards);
     w.u64("interval_accesses", o.intervalAccesses);
     w.str("cost_model", o.costModel);
+    w.u64("probe_every", o.probeEvery);
     w.close();
     return out;
 }
@@ -798,6 +799,9 @@ parseExperimentOptions(const JsonValue &v)
     o.shards = static_cast<unsigned>(v.at("shards").asU64());
     o.intervalAccesses = v.at("interval_accesses").asU64();
     o.costModel = v.at("cost_model").asString();
+    // Optional for manifests written before the feedback subsystem.
+    if (const JsonValue *pe = v.find("probe_every"))
+        o.probeEvery = pe->asU64();
     return o;
 }
 
@@ -824,6 +828,19 @@ parseExperimentResultValue(const JsonValue &v)
     // Optional for shards written before footprint accounting existed.
     if (const JsonValue *eb = v.find("estimated_bytes"))
         r.estimatedBytes = eb->asU64();
+    // Optional for shards written before the feedback subsystem.
+    if (const JsonValue *fe = v.find("feedback_events"))
+        r.feedbackEvents = fe->asU64();
+    if (const JsonValue *fd = v.find("feedback_digest"))
+        r.feedbackDigest = fd->asU64();
+    if (const JsonValue *rl = v.find("ramp_final_level"))
+        r.rampFinalLevel = rl->asU64();
+    if (const JsonValue *rk = v.find("ramp_knee_level"))
+        r.rampKneeLevel = rk->asU64();
+    if (const JsonValue *km = v.find("ramp_knee_metric"))
+        r.rampKneeMetric = km->asDouble();
+    if (const JsonValue *cm = v.find("ramp_cross_metric"))
+        r.rampCrossMetric = cm->asDouble();
     return r;
 }
 
@@ -1148,6 +1165,14 @@ experimentResultToJson(const ExperimentResult &result)
     // (host- and concurrency-dependent) and are deliberately NOT
     // serialized: a campaign-loaded cell reports 0 for them.
     w.u64("estimated_bytes", result.estimatedBytes);
+    // Feedback witness and SLO-ramp knee: deterministic functions of
+    // the access history, safe to checkpoint and merge.
+    w.u64("feedback_events", result.feedbackEvents);
+    w.u64("feedback_digest", result.feedbackDigest);
+    w.u64("ramp_final_level", result.rampFinalLevel);
+    w.u64("ramp_knee_level", result.rampKneeLevel);
+    w.num("ramp_knee_metric", result.rampKneeMetric);
+    w.num("ramp_cross_metric", result.rampCrossMetric);
     w.close();
     return out;
 }

@@ -7,6 +7,7 @@
 #include "common/bit_util.hh"
 #include "directory/registry.hh"
 #include "model/cost_model.hh"
+#include "sim/probe.hh"
 
 namespace cdir {
 
@@ -397,12 +398,21 @@ CmpSystem::run(AccessSource &source, std::uint64_t count,
         ++staged;
         const bool sample_due =
             sample_every != 0 && executed % sample_every == 0;
-        if (staged == window || sample_due) {
+        // Probe boundaries force a flush so the capture sees the state
+        // after *exactly* probe->accessesSeen() accesses — the serial
+        // apply has retired everything staged so far, making the
+        // snapshot independent of batch windowing position and shard
+        // count.
+        const bool probe_due =
+            feedbackProbe != nullptr && feedbackProbe->tick();
+        if (staged == window || sample_due || probe_due) {
             flush();
             staged = 0;
         }
         if (sample_due)
             sampleOccupancy();
+        if (probe_due)
+            feedbackProbe->capture(*this);
     }
     flush();
     return executed;
@@ -502,6 +512,8 @@ CmpSystem::resetStats()
         counters.latency.preallocate();
     for (auto &s : slices)
         s->resetStats();
+    if (feedbackProbe != nullptr)
+        feedbackProbe->onStatsReset();
 }
 
 bool

@@ -93,6 +93,7 @@
 namespace cdir {
 
 class CostModel;
+class SystemProbe;
 
 /** Which §2 cache organization is simulated. */
 enum class CmpConfigKind
@@ -271,6 +272,22 @@ class CmpSystem
     /** The attached cost model (nullptr = timing off). */
     const CostModel *costModel() const { return costs; }
 
+    /**
+     * Attach @p probe (non-owning; nullptr detaches): the
+     * AccessSource-driven run loop counts every access into it and, at
+     * each probe boundary, flushes the open batch window and lets the
+     * probe capture the system state — after the serial apply phase,
+     * so the published snapshot (and every feedback decision taken
+     * from it) is bit-identical at any `--jobs` x `--shards` setting.
+     * resetStats() re-baselines the probe's windowed deltas. With no
+     * probe attached (the default) the run loop pays one pointer test
+     * per access.
+     */
+    void setProbe(SystemProbe *probe) { feedbackProbe = probe; }
+
+    /** The attached probe (nullptr = feedback off). */
+    SystemProbe *probe() const { return feedbackProbe; }
+
     /** Sample aggregate directory occupancy once. */
     void sampleOccupancy();
 
@@ -392,6 +409,8 @@ class CmpSystem
     CmpStats counters;
     /** Attached timing model (non-owning; nullptr = timing off). */
     const CostModel *costs = nullptr;
+    /** Attached feedback probe (non-owning; nullptr = feedback off). */
+    SystemProbe *feedbackProbe = nullptr;
 
     // --- shard scheduler (see file comment; serial when shardCount <= 1) ---
     unsigned shardCount = 1;

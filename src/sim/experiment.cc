@@ -7,6 +7,9 @@
 #include <sys/resource.h>
 
 #include "model/cost_model.hh"
+#include "sim/probe.hh"
+#include "workload/feedback.hh"
+#include "workload/fleet.hh"
 #include "workload/scenario.hh"
 
 namespace cdir {
@@ -128,11 +131,11 @@ makeWorkloadSource(const CmpConfig &config, const WorkloadParams &workload)
                                TraceReadOptions{config.numCores, true});
     }
     if (!workload.scenarioSpec.empty()) {
-        // Scenario cell: resolve the preset/file for this system's core
-        // count; the workload is deterministic, so per-cell instances
-        // yield identical streams.
-        return std::make_unique<ScenarioWorkload>(
-            resolveScenario(workload.scenarioSpec, config.numCores));
+        // Dynamic cell: a fleet/slo-ramp spec or a scenario
+        // preset/file, resolved for this system's core count; every
+        // source is deterministic, so per-cell instances yield
+        // identical streams.
+        return makeDynamicSource(workload.scenarioSpec, config.numCores);
     }
     return std::make_unique<SyntheticSource>(workload);
 }
@@ -159,6 +162,33 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
     // much actually ran).
     const std::unique_ptr<AccessSource> source =
         makeWorkloadSource(config, workload);
+
+    // Closed-loop wiring: a feedback-consuming source gets a
+    // SystemProbe snapshotting the live system at its requested
+    // interval (or the explicit override), attached before the first
+    // access so warmup windows already steer it. Probes capture after
+    // the serial apply phase, so snapshots — and every decision made
+    // from them — are bit-identical at any shard count.
+    std::unique_ptr<SystemProbe> probe;
+    FeedbackConsumer *consumer =
+        dynamic_cast<FeedbackConsumer *>(source.get());
+    if (consumer != nullptr && !consumer->wantsFeedback())
+        consumer = nullptr;
+    if (consumer != nullptr) {
+        if (consumer->needsTiming() && options.costModel.empty())
+            throw std::runtime_error(
+                "workload '" + workload.name +
+                "' steers on a latency metric but no cost model is "
+                "attached; pass --cost-model (latency triggers can "
+                "never fire untimed)");
+        const std::uint64_t interval = options.probeEvery != 0
+                                           ? options.probeEvery
+                                           : consumer->probeInterval();
+        probe = std::make_unique<SystemProbe>(interval);
+        system.setProbe(probe.get());
+        consumer->attachFeedback(probe->channel());
+    }
+
     system.run(*source, options.warmupAccesses);
     system.resetStats();
 
@@ -195,6 +225,17 @@ runExperiment(const CmpConfig &config, const WorkloadParams &workload,
         result.latencyP50 = lat.percentile(500);
         result.latencyP99 = lat.percentile(990);
         result.latencyP999 = lat.percentile(999);
+    }
+    if (consumer != nullptr) {
+        result.feedbackEvents = consumer->feedbackEventCount();
+        result.feedbackDigest = consumer->feedbackDigest();
+        if (const auto *ramp =
+                dynamic_cast<const SloRampWorkload *>(source.get())) {
+            result.rampFinalLevel = ramp->currentLevel();
+            result.rampKneeLevel = ramp->kneeLevel();
+            result.rampKneeMetric = ramp->kneeMetric();
+            result.rampCrossMetric = ramp->crossMetric();
+        }
     }
     return result;
 }

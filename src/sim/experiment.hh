@@ -61,6 +61,27 @@ struct ExperimentResult
      */
     std::uint64_t estimatedBytes = 0;
     /**
+     * Closed-loop feedback witness: the number of feedback decisions
+     * the workload took (trigger firings, ramp level transitions) and
+     * an order-sensitive FNV-1a digest over them. 0/fnv1aInit() when
+     * the workload is open-loop. Deterministic, so serialized with
+     * campaign checkpoints — two runs that agree here took identical
+     * decisions at identical access counts.
+     */
+    std::uint64_t feedbackEvents = 0;
+    std::uint64_t feedbackDigest = 0;
+    /**
+     * SLO-ramp results (slo-ramp workloads only; 0 otherwise): the load
+     * level in force at the end of the run, the knee (last level whose
+     * window stayed within target), and the metric values of the last
+     * sustained window and the violating window. Deterministic and
+     * serialized.
+     */
+    std::uint64_t rampFinalLevel = 0;
+    std::uint64_t rampKneeLevel = 0;
+    double rampKneeMetric = 0.0;
+    double rampCrossMetric = 0.0;
+    /**
      * Process peak RSS (getrusage ru_maxrss) observed after the run, in
      * bytes, and the cell's measure-phase wall-clock seconds. Both are
      * *environmental* — they depend on the host, concurrency, and which
@@ -104,6 +125,13 @@ struct ExperimentOptions
      * unmodelled one.
      */
     std::string costModel;
+    /**
+     * Feedback probe interval override, in accesses. 0 (the default)
+     * lets a closed-loop workload request its own interval
+     * (FeedbackConsumer::probeInterval); non-zero forces this one. No
+     * probe is constructed at all for open-loop workloads.
+     */
+    std::uint64_t probeEvery = 0;
 };
 
 /**

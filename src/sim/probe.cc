@@ -1,0 +1,99 @@
+#include "sim/probe.hh"
+
+#include <stdexcept>
+
+#include "sim/cmp_system.hh"
+
+namespace cdir {
+
+SystemProbe::SystemProbe(std::uint64_t interval_accesses)
+    : interval(interval_accesses)
+{
+    if (interval == 0)
+        throw std::invalid_argument(
+            "SystemProbe: interval must be >= 1 access");
+}
+
+void
+SystemProbe::capture(const CmpSystem &system)
+{
+    ProbeSnapshot snap;
+    snap.sequence = ++sequence;
+    snap.accessIndex = accessCount;
+
+    // Point-in-time occupancy, per slice and aggregate. Serial reads
+    // of slice-local entry counts — capture runs between flushes, so
+    // no lane owns any slice at this moment.
+    snap.sliceOccupancy.reserve(system.numSlices());
+    std::uint64_t occupied = 0, capacity = 0;
+    for (std::size_t s = 0; s < system.numSlices(); ++s) {
+        const std::uint64_t valid = system.slice(s).validEntries();
+        const std::uint64_t total = system.slice(s).capacity();
+        occupied += valid;
+        capacity += total;
+        snap.sliceOccupancy.push_back(
+            total != 0 ? double(valid) / double(total) : 0.0);
+    }
+    snap.occupiedEntries = occupied;
+    snap.capacityEntries = capacity;
+    snap.occupancy = capacity != 0 ? double(occupied) / double(capacity)
+                                   : 0.0;
+
+    // Windowed deltas against the previous capture. The attempt sums
+    // are integer-valued doubles, so the subtraction is exact — the
+    // same argument interval telemetry relies on.
+    const DirectoryStats dir = system.aggregateDirectoryStats();
+    const CmpStats &sys = system.stats();
+    snap.windowAccesses = accessCount - prevAccessIndex;
+    snap.windowInsertions = dir.insertions - prevInsertions;
+    const double attemptSum = dir.insertionAttempts.sum();
+    const std::uint64_t attemptCount = dir.insertionAttempts.count();
+    const std::uint64_t windowAttempts = attemptCount - prevAttemptCount;
+    snap.windowAttemptMean =
+        windowAttempts != 0
+            ? (attemptSum - prevAttemptSum) / double(windowAttempts)
+            : 0.0;
+    snap.windowForcedInvalidations =
+        sys.forcedInvalidations - prevForcedInvalidations;
+    snap.forcedPer1k =
+        snap.windowAccesses != 0
+            ? 1000.0 * double(snap.windowForcedInvalidations) /
+                  double(snap.windowAccesses)
+            : 0.0;
+
+    snap.timed = system.costModel() != nullptr;
+    if (snap.timed) {
+        LatencyHistogram window = sys.latency;
+        window.subtract(prevLatency);
+        if (window.count() != 0) {
+            snap.windowP50 = window.percentile(500);
+            snap.windowP99 = window.percentile(990);
+        }
+        prevLatency = sys.latency;
+    }
+
+    prevAccessIndex = accessCount;
+    prevInsertions = dir.insertions;
+    prevAttemptSum = attemptSum;
+    prevAttemptCount = attemptCount;
+    prevForcedInvalidations = sys.forcedInvalidations;
+
+    feed.publish(std::move(snap));
+}
+
+void
+SystemProbe::onStatsReset()
+{
+    // The cumulative counters just went to zero; windows restart from
+    // the reset point. accessCount and sequence are *not* reset: probe
+    // boundaries stay on the same absolute access grid, which is what
+    // keeps a warmup-spanning recording replayable.
+    prevAccessIndex = accessCount;
+    prevInsertions = 0;
+    prevAttemptSum = 0.0;
+    prevAttemptCount = 0;
+    prevForcedInvalidations = 0;
+    prevLatency = LatencyHistogram{};
+}
+
+} // namespace cdir

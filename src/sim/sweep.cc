@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "model/cost_model.hh"
+#include "workload/fleet.hh"
 #include "workload/scenario.hh"
 #include "workload/trace.hh"
 
@@ -94,12 +95,15 @@ appendScenarioWorkloads(SweepSpec &spec, const std::string &specs,
     std::vector<WorkloadParams> params;
     params.reserve(items.size());
     for (const std::string &item : items) {
-        // Fail fast on a bad file path, schedule, or core bound: a
-        // preset name is known-good (and adapts to any core count),
-        // anything else must parse as a scenario file now rather than
-        // erroring once per grid cell later.
-        if (std::find(presets.begin(), presets.end(), item) ==
-            presets.end()) {
+        // Fail fast on a bad spec, file path, schedule, or core bound:
+        // a preset name is known-good (and adapts to any core count), a
+        // fleet/slo-ramp spec validates by constructing a throwaway
+        // instance, and anything else must parse as a scenario file now
+        // rather than erroring once per grid cell later.
+        if (isFleetSpec(item) || isSloRampSpec(item)) {
+            makeDynamicSource(item, max_cores != 0 ? max_cores : 16);
+        } else if (std::find(presets.begin(), presets.end(), item) ==
+                   presets.end()) {
             const Scenario scenario = parseScenarioFile(item);
             if (max_cores != 0 && scenario.numCores > max_cores)
                 throw std::runtime_error(
@@ -108,7 +112,7 @@ appendScenarioWorkloads(SweepSpec &spec, const std::string &specs,
                     " cores but the grid's systems have " +
                     std::to_string(max_cores));
         }
-        params.push_back(scenarioWorkloadParams(item));
+        params.push_back(dynamicWorkloadParams(item));
     }
     // Label by stem/preset name, but fall back to the full spec when
     // labels collide (e.g. a/night.scn + b/night.scn) so axis labels
@@ -542,10 +546,15 @@ usage(const char *bad)
         "  --trace=FILE|DIR      replay recorded traces as the workload "
         "axis\n"
         "                        (a directory is swept in sorted order)\n"
-        "  --scenario=S[,S...]   drive phased scenarios as the workload "
+        "  --scenario=S[,S...]   drive dynamic workloads as the workload "
         "axis\n"
-        "                        (preset names, scenario files, or "
-        "'all')\n"
+        "                        (scenario presets/files, 'all', or "
+        "fleet: /\n"
+        "                        slo-ramp: specs — see workload/fleet.hh)\n"
+        "  --probe-every=N       override the feedback probe interval "
+        "of\n"
+        "                        closed-loop workloads (default: the\n"
+        "                        workload's own request)\n"
         "  --cost-model=M[,M...] time each cell under these cost models\n"
         "                        ('fixed', 'mesh', or 'all'; default: "
         "untimed)\n"
@@ -627,6 +636,10 @@ parseHarnessOptions(int argc, char **argv)
             if (*v == '\0')
                 usage(argv[i]);
             opts.scenario = v;
+        } else if (const char *v = cliFlagValue(argv[i], "probe-every")) {
+            opts.probeEvery = parseU64(v, argv[i]);
+            if (opts.probeEvery == 0)
+                usage(argv[i]);
         } else if (const char *v = cliFlagValue(argv[i], "cost-model")) {
             // Validate every name at parse time so a typo fails with a
             // usage message here, not once per grid cell mid-sweep.
@@ -728,6 +741,11 @@ warnFlagUnused(const HarnessOptions &opts,
                 std::fprintf(stderr,
                              "note: this harness runs no timed "
                              "experiment; --cost-model has no effect\n");
+        } else if (std::strcmp(flag, "probe-every") == 0) {
+            if (opts.probeEvery != 0)
+                std::fprintf(stderr,
+                             "note: this harness drives no closed-loop "
+                             "workload; --probe-every has no effect\n");
         } else {
             std::fprintf(stderr,
                          "warnFlagUnused: unknown flag name '%s'\n",

@@ -353,12 +353,20 @@ struct HarnessOptions
      */
     std::string trace;
     /**
-     * --scenario=<name|file>[,...]: replace the workload axis with
-     * phased scenarios (preset names, scenario files, or "all" for
-     * every preset — see workload/scenario.hh). Empty = synthetic
+     * --scenario=<spec>[,...]: replace the workload axis with dynamic
+     * sources — scenario preset names, scenario files, "all" for every
+     * preset (workload/scenario.hh), or colon-separated fleet /
+     * slo-ramp specs ("fleet:tenants=8:churn=250000",
+     * "slo-ramp:target=150" — workload/fleet.hh). Empty = synthetic
      * presets. Mutually exclusive with --trace.
      */
     std::string scenario;
+    /**
+     * --probe-every=N: override the feedback probe interval of
+     * closed-loop workloads (0 = each workload's own request; see
+     * ExperimentOptions::probeEvery). No effect on open-loop cells.
+     */
+    std::uint64_t probeEvery = 0;
     /**
      * --cost-model=<name>[,...]: time every cell under these cost
      * models ("fixed", "mesh", or "all" — see model/cost_model.hh),
@@ -406,6 +414,8 @@ struct HarnessOptions
             opts.measureAccesses = measureOverride;
         if (!costModels.empty())
             opts.costModel = costModels.front();
+        if (probeEvery != 0)
+            opts.probeEvery = probeEvery;
         opts.shards = shards;
         if (shardsRequested > 1 && shards != shardsRequested) {
             static bool noted = false;
@@ -447,8 +457,9 @@ const char *cliFlagValue(const char *arg, const char *name);
  *
  * Known names: "filter" (generic map() grids have no cell labels),
  * "trace" / "scenario" (the workload axis is not built from
- * paperSweep), "shards" (the grid never constructs a CmpSystem), and
- * "cost-model" (the grid runs no timed experiment). A flag the user
+ * paperSweep), "shards" (the grid never constructs a CmpSystem),
+ * "cost-model" (the grid runs no timed experiment), and "probe-every"
+ * (the grid drives no closed-loop workload). A flag the user
  * did not supply prints nothing, so the call is free in the common
  * case; an unknown name aborts (programming error).
  */

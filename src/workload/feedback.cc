@@ -1,0 +1,126 @@
+#include "workload/feedback.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cdir {
+
+const char *
+triggerMetricName(TriggerMetric metric)
+{
+    switch (metric) {
+      case TriggerMetric::Occupancy:
+        return "occupancy";
+      case TriggerMetric::P50:
+        return "p50";
+      case TriggerMetric::P99:
+        return "p99";
+      case TriggerMetric::ForcedPer1k:
+        return "forced-per-1k";
+      case TriggerMetric::Attempts:
+        return "attempts";
+    }
+    return "?";
+}
+
+bool
+triggerMetricByName(const std::string &name, TriggerMetric &metric)
+{
+    if (name == "occupancy")
+        metric = TriggerMetric::Occupancy;
+    else if (name == "p50")
+        metric = TriggerMetric::P50;
+    else if (name == "p99")
+        metric = TriggerMetric::P99;
+    else if (name == "forced-per-1k")
+        metric = TriggerMetric::ForcedPer1k;
+    else if (name == "attempts")
+        metric = TriggerMetric::Attempts;
+    else
+        return false;
+    return true;
+}
+
+bool
+triggerMetricNeedsTiming(TriggerMetric metric)
+{
+    return metric == TriggerMetric::P50 || metric == TriggerMetric::P99;
+}
+
+double
+triggerMetricValue(const ProbeSnapshot &snapshot, TriggerMetric metric)
+{
+    switch (metric) {
+      case TriggerMetric::Occupancy:
+        return snapshot.occupancy;
+      case TriggerMetric::P50:
+        return static_cast<double>(snapshot.windowP50);
+      case TriggerMetric::P99:
+        return static_cast<double>(snapshot.windowP99);
+      case TriggerMetric::ForcedPer1k:
+        return snapshot.forcedPer1k;
+      case TriggerMetric::Attempts:
+        return snapshot.windowAttemptMean;
+    }
+    return 0.0;
+}
+
+PhaseTrigger
+parsePhaseTrigger(const std::string &text)
+{
+    const std::size_t gt = text.find('>');
+    const std::size_t lt = text.find('<');
+    if (gt == std::string::npos && lt == std::string::npos)
+        throw std::invalid_argument(
+            "trigger '" + text + "' has no comparison ('>' or '<')");
+    if (gt != std::string::npos && lt != std::string::npos)
+        throw std::invalid_argument(
+            "trigger '" + text + "' mixes '>' and '<'");
+    const std::size_t op = gt != std::string::npos ? gt : lt;
+
+    PhaseTrigger trigger;
+    trigger.greater = gt != std::string::npos;
+    const std::string name = text.substr(0, op);
+    if (!triggerMetricByName(name, trigger.metric))
+        throw std::invalid_argument(
+            "trigger '" + text + "' names unknown metric '" + name +
+            "' (try occupancy, p50, p99, forced-per-1k, attempts)");
+
+    const std::string value = text.substr(op + 1);
+    char *end = nullptr;
+    trigger.threshold = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == value.c_str() || *end != '\0')
+        throw std::invalid_argument(
+            "trigger '" + text + "' has malformed threshold '" + value +
+            "'");
+    if (trigger.threshold < 0.0)
+        throw std::invalid_argument(
+            "trigger '" + text + "' threshold must be >= 0");
+    if (trigger.metric == TriggerMetric::Occupancy &&
+        trigger.threshold > 1.0)
+        throw std::invalid_argument(
+            "trigger '" + text +
+            "': occupancy is a fraction, threshold must be <= 1");
+    return trigger;
+}
+
+std::string
+formatPhaseTrigger(const PhaseTrigger &trigger)
+{
+    char value[32];
+    std::snprintf(value, sizeof value, "%g", trigger.threshold);
+    return std::string(triggerMetricName(trigger.metric)) +
+           (trigger.greater ? ">" : "<") + value;
+}
+
+bool
+triggerSatisfied(const PhaseTrigger &trigger,
+                 const ProbeSnapshot &snapshot)
+{
+    const double value = triggerMetricValue(snapshot, trigger.metric);
+    return trigger.greater ? value > trigger.threshold
+                           : value < trigger.threshold;
+}
+
+} // namespace cdir

@@ -183,6 +183,11 @@ ScenarioWorkload::enterPhase(std::size_t index)
     phaseIndex = index;
     emittedInPhase = 0;
     burstSeq = 0;
+    // Triggers only consider snapshots captured *after* this entry: a
+    // stale snapshot from the previous phase must not end the new one
+    // before it emitted anything of its own.
+    phaseEntrySequence = feed != nullptr ? feed->latest().sequence : 0;
+    evaluatedSequence = phaseEntrySequence;
     const ScenarioPhase &phase = script.phases[index];
     for (const ScenarioEvent &event : phase.events)
         applyEvent(event);
@@ -310,6 +315,43 @@ ScenarioWorkload::fill()
             return; // schedule over: exhausted() turns true
         const ScenarioPhase &phase = script.phases[phaseIndex];
 
+        // Event triggers: a fresh snapshot (captured after this phase
+        // began, and not yet evaluated — each snapshot decides at most
+        // one phase exit) satisfying any trigger ends the phase early,
+        // exactly as if its access budget ran out. The phase must have
+        // emitted at least one access so a firing always makes forward
+        // progress through the schedule.
+        if (!phase.triggers.empty() && feed != nullptr &&
+            feed->hasSnapshot()) {
+            const ProbeSnapshot &snap = feed->latest();
+            if (emittedInPhase > 0 && snap.sequence > phaseEntrySequence &&
+                snap.sequence > evaluatedSequence) {
+                evaluatedSequence = snap.sequence;
+                bool fired = false;
+                for (std::size_t i = 0; i < phase.triggers.size(); ++i) {
+                    const PhaseTrigger &trigger = phase.triggers[i];
+                    // Latency triggers are inert against an untimed
+                    // snapshot; the driver rejects such runs up front
+                    // (needsTiming), so this only guards direct drives.
+                    if (triggerMetricNeedsTiming(trigger.metric) &&
+                        !snap.timed)
+                        continue;
+                    if (triggerSatisfied(trigger, snap)) {
+                        triggerLog.push_back(TriggerFiring{
+                            static_cast<std::uint32_t>(phaseIndex),
+                            static_cast<std::uint32_t>(i),
+                            snap.sequence, snap.accessIndex});
+                        fired = true;
+                        break;
+                    }
+                }
+                if (fired) {
+                    emittedInPhase = phase.accesses;
+                    continue;
+                }
+            }
+        }
+
         // A plain trace segment shorter than its phase ends it early —
         // the segment bounds the phase even when a burst overlay could
         // still emit (checked first so a dry segment never leaves a
@@ -369,6 +411,50 @@ ScenarioWorkload::next()
     const MemAccess result = buffered;
     fill();
     return result;
+}
+
+bool
+ScenarioWorkload::wantsFeedback() const
+{
+    for (const ScenarioPhase &phase : script.phases)
+        if (!phase.triggers.empty())
+            return true;
+    return false;
+}
+
+std::uint64_t
+ScenarioWorkload::probeInterval() const
+{
+    return script.probeEvery != 0 ? script.probeEvery : kDefaultProbeEvery;
+}
+
+void
+ScenarioWorkload::attachFeedback(const FeedbackChannel &channel)
+{
+    feed = &channel;
+}
+
+bool
+ScenarioWorkload::needsTiming() const
+{
+    for (const ScenarioPhase &phase : script.phases)
+        for (const PhaseTrigger &trigger : phase.triggers)
+            if (triggerMetricNeedsTiming(trigger.metric))
+                return true;
+    return false;
+}
+
+std::uint64_t
+ScenarioWorkload::feedbackDigest() const
+{
+    std::uint64_t hash = fnv1aInit();
+    for (const TriggerFiring &firing : triggerLog) {
+        hash = fnv1aMix(hash, firing.phase);
+        hash = fnv1aMix(hash, firing.trigger);
+        hash = fnv1aMix(hash, firing.sequence);
+        hash = fnv1aMix(hash, firing.accessIndex);
+    }
+    return hash;
 }
 
 // --- scenario text format ----------------------------------------------------
@@ -530,6 +616,13 @@ parseScenarioText(const std::string &text, const std::string &name)
                 parseCount(args[0], name, line_number, "core count");
             if (scenario.numCores == 0)
                 parseFail(name, line_number, "core count must be >= 1");
+        } else if (directive == "probe") {
+            want(1, 1);
+            scenario.probeEvery =
+                parseCount(args[0], name, line_number, "probe interval");
+            if (scenario.probeEvery == 0)
+                parseFail(name, line_number,
+                          "probe interval must be >= 1");
         } else if (directive == "loop") {
             want(1, 1);
             if (args[0] == "on")
@@ -633,6 +726,16 @@ parseScenarioText(const std::string &text, const std::string &name)
                 else
                     parseFail(name, line_number,
                               "unknown burst knob '" + key + "'");
+            }
+        } else if (directive == "until" || directive == "when") {
+            // Two spellings of the same thing: "until occupancy>0.8"
+            // reads naturally for ramps, "when p99>150" for alarms.
+            want(1, 1);
+            phaseScoped();
+            try {
+                phase.triggers.push_back(parsePhaseTrigger(args[0]));
+            } catch (const std::invalid_argument &e) {
+                parseFail(name, line_number, e.what());
             }
         } else {
             // The "unknown event" rejection case: anything that is not

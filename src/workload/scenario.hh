@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "workload/feedback.hh"
 #include "workload/trace.hh"
 #include "workload/workload.hh"
 
@@ -116,6 +117,17 @@ struct ScenarioPhase
     std::vector<ScenarioEvent> events;
     /** Producer-consumer overlay (fraction 0 = off). */
     BurstParams burst;
+    /**
+     * Event triggers (`until occupancy>0.8`, `when p99>120`): the
+     * phase ends early when any trigger is satisfied by a feedback
+     * snapshot captured *after* the phase began; @ref accesses then
+     * acts as the timeout cap. Requires a feedback channel
+     * (runExperiment attaches one automatically); like a short plain
+     * trace segment, an early exit shifts the emitted stream ahead of
+     * the declared schedule — deterministically, because snapshots
+     * fire at exact access counts (see workload/feedback.hh).
+     */
+    std::vector<PhaseTrigger> triggers;
 };
 
 /** A schedule of timed phases (see file comment). */
@@ -131,6 +143,13 @@ struct Scenario
      * a clean slate: identity thread mapping, every core online.
      */
     bool loop = true;
+    /**
+     * Accesses between feedback probe captures for triggered phases
+     * (`probe <N>` in the text format); 0 = the default interval
+     * (kDefaultProbeEvery). Only consulted when some phase declares a
+     * trigger.
+     */
+    std::uint64_t probeEvery = 0;
     std::vector<ScenarioPhase> phases;
 
     /** Accesses in one pass of the schedule. */
@@ -160,16 +179,39 @@ struct Scenario
     void validate() const;
 };
 
+/** Default accesses between feedback probe captures. */
+inline constexpr std::uint64_t kDefaultProbeEvery = 10'000;
+
 /**
  * A scenario as an AccessSource: emits each phase's base stream (with
  * the burst overlay mixed in) through the live thread-to-core mapping
  * and online set. Deterministic: two instances of the same scenario
  * yield identical streams, so record -> replay through the trace
  * pipeline is bit-identical to the live run.
+ *
+ * Scenarios with *triggered* phases are closed-loop FeedbackConsumers:
+ * the driver (runExperiment) attaches a probe channel, and a phase
+ * with triggers ends as soon as a snapshot captured after the phase
+ * began satisfies one — still deterministic, because snapshots fire at
+ * exact access counts, so the recorded stream of a closed-loop run
+ * replays as an ordinary trace. Without an attached channel triggers
+ * never fire (phases run to their timeout caps); drivers that cannot
+ * attach one should refuse closed-loop scenarios loudly (trace_tool
+ * record does).
  */
-class ScenarioWorkload : public AccessSource
+class ScenarioWorkload : public AccessSource, public FeedbackConsumer
 {
   public:
+    /** One trigger firing: which phase/trigger fired on which
+     *  snapshot. Deterministic at any `--jobs` x `--shards`. */
+    struct TriggerFiring
+    {
+        std::uint32_t phase = 0;   //!< phase index that ended early
+        std::uint32_t trigger = 0; //!< index into the phase's triggers
+        std::uint64_t sequence = 0;    //!< snapshot sequence that fired
+        std::uint64_t accessIndex = 0; //!< snapshot's access position
+    };
+
     /** Validates @p scenario (throws std::invalid_argument). */
     explicit ScenarioWorkload(const Scenario &scenario);
 
@@ -187,6 +229,24 @@ class ScenarioWorkload : public AccessSource
 
     /** True iff physical core @p core is online. */
     bool coreOnline(CoreId core) const { return online[core]; }
+
+    // FeedbackConsumer interface (see class comment).
+    bool wantsFeedback() const override;
+    std::uint64_t probeInterval() const override;
+    void attachFeedback(const FeedbackChannel &channel) override;
+    bool needsTiming() const override;
+    std::uint64_t
+    feedbackEventCount() const override
+    {
+        return triggerLog.size();
+    }
+    std::uint64_t feedbackDigest() const override;
+
+    /** Trigger firings so far, in firing order. */
+    const std::vector<TriggerFiring> &firings() const
+    {
+        return triggerLog;
+    }
 
   private:
     void enterPhase(std::size_t index);
@@ -233,6 +293,18 @@ class ScenarioWorkload : public AccessSource
      * next() so the failure is never silently swallowed.
      */
     std::string deferredError;
+
+    // --- closed-loop state (empty-trigger scenarios never touch it) ---
+    /** Attached feedback channel (nullptr = open loop). */
+    const FeedbackChannel *feed = nullptr;
+    /** Snapshot sequence current at phase entry: only snapshots
+     *  captured after the phase began may end it. */
+    std::uint64_t phaseEntrySequence = 0;
+    /** Last snapshot sequence already evaluated against the current
+     *  phase's triggers (each snapshot is tested once). */
+    std::uint64_t evaluatedSequence = 0;
+    /** Firings so far (feedbackDigest() hashes this log). */
+    std::vector<TriggerFiring> triggerLog;
 };
 
 // --- scenario text format ----------------------------------------------------
@@ -243,6 +315,7 @@ class ScenarioWorkload : public AccessSource
  *     # comment
  *     scenario <name>
  *     cores <N>
+ *     probe <N>                           # feedback probe interval
  *     phase <label> <accesses>            # starts where the last ended
  *     phase <label> <start> <accesses>    # explicit start (validated)
  *       preset <DB2|ocean|...|synthetic>  # base WorkloadParams
@@ -252,6 +325,8 @@ class ScenarioWorkload : public AccessSource
  *       offline <core>
  *       online <core>
  *       burst fraction=<f> ring=<blocks> producer=<core>
+ *       until <metric><op><value>         # event trigger: end early
+ *       when <metric><op><value>          # alias of `until`
  *
  * `set` knobs: code-blocks, shared-blocks, private-blocks, instr-frac,
  * shared-frac, write-frac, code-theta, shared-theta, private-theta,

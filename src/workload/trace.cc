@@ -308,7 +308,17 @@ BinaryTraceReader::BinaryTraceReader(const std::string &path,
             path + ": unsupported binary trace version " +
             std::to_string(version) + " (expected " +
             std::to_string(binaryVersion) + ")");
+    block.resize(std::size_t{64} * 1024);
     fill();
+}
+
+bool
+BinaryTraceReader::refillBlock()
+{
+    in.read(block.data(), static_cast<std::streamsize>(block.size()));
+    blockLen = static_cast<std::size_t>(in.gcount());
+    blockPos = 0;
+    return blockLen != 0;
 }
 
 void
@@ -324,7 +334,7 @@ BinaryTraceReader::readVarint(std::uint64_t &value)
     value = 0;
     unsigned shift = 0;
     for (;;) {
-        const int byte = in.get();
+        const int byte = nextByte();
         if (byte == std::char_traits<char>::eof()) {
             if (shift == 0)
                 return false;

@@ -257,11 +257,27 @@ class BinaryTraceReader : public AccessSource
      * first byte; throws on EOF mid-varint or an over-long encoding.
      */
     bool readVarint(std::uint64_t &value);
+    /**
+     * Next raw byte through the 64 KiB block buffer (one bulk read()
+     * per block instead of one istream::get() virtual-call round trip
+     * per byte — the decode hot path). @return EOF at end of stream.
+     */
+    int
+    nextByte()
+    {
+        if (blockPos == blockLen && !refillBlock())
+            return std::char_traits<char>::eof();
+        return static_cast<unsigned char>(block[blockPos++]);
+    }
+    bool refillBlock();
     [[noreturn]] void corrupt(const std::string &what);
 
     std::string file;
     TraceReadOptions opts;
     std::ifstream in;
+    std::vector<char> block;      //!< 64 KiB decode buffer
+    std::size_t blockPos = 0;     //!< consumed bytes in @ref block
+    std::size_t blockLen = 0;     //!< valid bytes in @ref block
     MemAccess buffered{};
     bool hasBuffered = false;
     BlockAddr prevAddr = 0;

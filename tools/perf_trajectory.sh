@@ -10,7 +10,9 @@
 #
 # The micro side runs a narrow, fast google-benchmark filter (the
 # allocation-free churn paths for the headline organizations); the
-# end-to-end side runs bench/end_to_end_rate. Output is assembled with
+# end-to-end side runs bench/end_to_end_rate, whose legs include the
+# multi-tenant fleet generator (Cuckoo/fleet), so generator-side
+# regressions are part of the committed series. Output is assembled with
 # plain shell so the script has no dependencies beyond the build tree.
 # Wall-clock numbers are runner-dependent: compare files produced on
 # the same machine class (the CI step pins one runner type).

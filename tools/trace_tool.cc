@@ -4,7 +4,8 @@
  *
  *   trace_tool record <preset> <out> [options]   generate a trace from
  *                                                a Table 2 synthetic
- *                                                preset
+ *                                                preset, a fleet: spec,
+ *                                                or a scenario
  *   trace_tool replay <trace> [options]          run a trace through a
  *                                                CMP experiment and
  *                                                report directory stats
@@ -31,6 +32,8 @@
 
 #include "model/cost_model.hh"
 #include "sim/sweep.hh"
+#include "workload/feedback.hh"
+#include "workload/fleet.hh"
 #include "workload/trace.hh"
 
 using namespace cdir;
@@ -50,7 +53,11 @@ usage(const char *error = nullptr)
         "             [--code-blocks=N] [--shared-blocks=N]\n"
         "             [--private-blocks=N]\n"
         "      preset: a Table 2 label (DB2, Oracle, Qry2, Qry16, Qry17,\n"
-        "      Apache, Zeus, em3d, ocean) or 'synthetic' (defaults).\n"
+        "      Apache, Zeus, em3d, ocean), 'synthetic' (defaults), a\n"
+        "      'fleet:...' multi-tenant spec, a scenario preset, or a\n"
+        "      scenario file. Closed-loop specs (slo-ramp:, scenarios\n"
+        "      with 'until' triggers) are rejected: record runs no\n"
+        "      system, so there is no feedback to steer on.\n"
         "      The --*-blocks flags shrink footprints for tiny fixture\n"
         "      traces. Default format is binary; --text writes lines.\n"
         "  trace_tool replay <trace> [--cores=N] [--private-l2]\n"
@@ -236,14 +243,47 @@ cmdRecord(int argc, char **argv)
                     flags))
         return usage();
     WorkloadParams params;
-    if (!presetParams(argv[2], flags, params))
-        return usage("unknown preset (try DB2, ocean, ..., or synthetic)");
+    std::unique_ptr<AccessSource> dynamic;
+    if (!presetParams(argv[2], flags, params)) {
+        // Not a Table 2 preset: try the dynamic-workload grammar
+        // (fleet:/slo-ramp: specs, scenario presets, scenario files).
+        try {
+            dynamic = makeDynamicSource(argv[2], flags.cores);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "trace_tool: %s\n", e.what());
+            return usage(
+                "unknown preset (try DB2, ocean, ..., synthetic, a "
+                "fleet:/slo-ramp: spec, or a scenario)");
+        }
+        // A closed-loop source steers on live system metrics; recording
+        // runs no system, so there is nothing to feed back from and the
+        // result would silently be the never-triggered schedule.
+        const auto *consumer =
+            dynamic_cast<const FeedbackConsumer *>(dynamic.get());
+        if (consumer != nullptr && consumer->wantsFeedback()) {
+            std::fprintf(
+                stderr,
+                "trace_tool: '%s' is a closed-loop workload — it steers "
+                "on feedback probed from a live system, and record runs "
+                "no system, so every trigger would silently never fire. "
+                "Record the equivalent open-loop spec (e.g. 'fleet:...' "
+                "without the ramp), or capture the closed-loop run "
+                "in-process with TraceRecorder while a CmpSystem drives "
+                "it (see tests/feedback_test.cc)\n",
+                argv[2]);
+            return 2;
+        }
+        params.name = argv[2];
+        params.numCores = flags.cores;
+    }
 
-    SyntheticSource source(params);
+    SyntheticSource synthetic(params);
+    AccessSource &source = dynamic ? *dynamic : synthetic;
     const std::unique_ptr<TraceSink> sink =
         makeTraceSink(argv[3], !flags.text);
     TraceRecorder recorder(source, *sink);
-    for (std::uint64_t i = 0; i < flags.accesses; ++i)
+    for (std::uint64_t i = 0;
+         i < flags.accesses && !recorder.exhausted(); ++i)
         recorder.next();
     sink->close();
     std::printf("recorded %llu accesses of '%s' (%zu cores, seed %llu) "
